@@ -1,0 +1,60 @@
+"""Figure 2 (paper Figure `prot_domains`): protection domains as
+fragmented regions of one address space.
+
+The figure is a diagram; its executable reproduction loads several
+modules, lets them allocate interleaved memory, and renders the
+resulting block-ownership map — visibly fragmented per domain yet
+logically partitioned.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.harbor import HarborSystem
+
+
+def build_figure():
+    system = HarborSystem()
+    a = system.create_domain("moduleA")
+    b = system.create_domain("moduleB")
+    c = system.create_domain("moduleC")
+    # interleave allocations so every domain ends up fragmented
+    for _round in range(3):
+        for domain in (a, b, c):
+            system.malloc(24, domain)
+    rows = [(hex(start), nblocks,
+             "trusted/free" if owner == TRUSTED_DOMAIN
+             else "domain {}".format(owner))
+            for start, nblocks, owner in system.domain_layout()
+            if start < 0x400]
+    table = render_table(
+        "Figure 2 -- Protection domains (fragmented, block-granular)",
+        ("Segment start", "Blocks", "Owner"), rows)
+    strip = []
+    for start, nblocks, owner in system.domain_layout():
+        if start >= 0x400:
+            break
+        ch = "." if owner == TRUSTED_DOMAIN else str(owner)
+        strip.append(ch * nblocks)
+    picture = "block map 0x200..0x400: [{}]".format("".join(strip))
+    return system, table + "\n" + picture
+
+
+def test_fig2_domain_fragmentation(benchmark, show):
+    from conftest import once
+    system, figure = once(benchmark, build_figure)
+    show(figure)
+    layout = system.domain_layout()
+    per_domain = {}
+    for start, _n, owner in layout:
+        per_domain.setdefault(owner, []).append(start)
+    # every module owns multiple non-adjacent segments (fragmentation)
+    for did in (0, 1, 2):
+        assert len(per_domain[did]) == 3
+    # yet the map partitions the space: each block has one owner
+    cfg = system.memmap.config
+    covered = sum(n for _s, n, _o in layout)
+    assert covered == cfg.nblocks
+
+
+if __name__ == "__main__":
+    print(build_figure()[1])

@@ -1,0 +1,95 @@
+"""Figure 4 (paper Figures `mmcop` and `memtrans`): MMC timing and
+address translation.
+
+4a: the phase sequence of a checked store (stall/intercept, translate +
+permission fetch, compare, write-enable), printed from the MMC's
+waveform recorder.
+
+4b: the address-translation datapath, worked for concrete addresses:
+offset subtraction, block-number shift, table index and nibble select.
+"""
+
+from repro.analysis.tables import render_table
+from repro.asm import assemble
+from repro.umpu import HarborLayout, UmpuMachine
+
+SRC = """
+store_fn:
+    movw r26, r24
+    st X, r22
+    ret
+"""
+
+
+def build_timing():
+    layout = HarborLayout()
+    machine = UmpuMachine(assemble(SRC), layout=layout)
+    machine.memmap.set_segment(0x0400, 8, 0)
+    wave = machine.mmc.record_waveform()
+    machine.enter_domain(0)
+    cycles = machine.call("store_fn", 0x0400, ("u8", 0x42))
+    rows = []
+    for step, entry in enumerate(wave):
+        signals = ", ".join("{}={}".format(
+            k, hex(v) if isinstance(v, int) else v)
+            for k, v in entry.items() if k != "phase")
+        rows.append((step, entry["phase"], signals))
+    table = render_table(
+        "Figure 4a -- MMC operation phases for one checked store",
+        ("Step", "Phase", "Signals"), rows,
+        note="total call: {} cycles (the table access adds exactly one "
+             "stall cycle)".format(cycles))
+    return machine, wave, table
+
+
+def build_translation():
+    layout = HarborLayout()
+    machine = UmpuMachine(assemble(SRC), layout=layout)
+    cfg = layout.memmap_config
+    rows = []
+    for addr in (0x0200, 0x0207, 0x0208, 0x0400, 0x0CFF):
+        tr = cfg.translate(addr)
+        table_addr, shift = machine.mmc.translate(addr)
+        rows.append((hex(addr), hex(tr.offset), tr.block,
+                     hex(table_addr),
+                     "high" if tr.entry_index else "low",
+                     shift))
+    table = render_table(
+        "Figure 4b -- Address translation (write addr -> memmap entry)",
+        ("Write addr", "Offset", "Block #", "Table byte addr",
+         "Nibble", "Shift"),
+        rows,
+        note="offset = addr - mem_prot_bot; block = offset >> 3; "
+             "byte = mem_map_base + (block >> 1); nibble = block & 1")
+    return rows, table
+
+
+def test_fig4a_timing(benchmark, show):
+    from conftest import once
+    machine, wave, table = once(benchmark, build_timing)
+    show(table)
+    phases = [w["phase"] for w in wave]
+    assert phases == ["intercept", "translate", "write_enable"]
+
+
+def test_fig4b_translation(benchmark, show):
+    rows, table = build_translation()
+    show(table)
+
+    def translate_sweep():
+        layout = HarborLayout()
+        machine = UmpuMachine(assemble(SRC), layout=layout)
+        for addr in range(0x200, 0xD00, 64):
+            machine.mmc.translate(addr)
+
+    benchmark(translate_sweep)
+    # consecutive blocks alternate nibbles and share bytes pairwise
+    assert rows[0][4] == "low" and rows[1][4] == "low"
+    assert rows[2][4] == "high"
+    assert rows[0][3] == rows[2][3]  # blocks 0 and 1 pack into one byte
+
+
+if __name__ == "__main__":
+    print(build_timing()[2])
+    print()
+    print(build_translation()[1])

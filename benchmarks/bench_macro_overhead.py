@@ -1,0 +1,186 @@
+"""Application-level protection overhead (paper §1.2 / §5: UMPU's
+"performance was evaluated by executing complex software systems" and
+the abstract's "minimal impact on performance").
+
+A two-module data-pipeline workload — producer allocates a packet,
+fills it, transfers ownership, calls the consumer across domains;
+consumer stamps it and frees it — runs in three configurations:
+
+* **unprotected**: direct calls, raw stores, plain allocator, stock core
+* **SFI**: modules rewritten, software checks (binary-rewrite system)
+* **UMPU**: identical unrewritten modules, hardware checks
+
+The table reports cycles per iteration and relative overhead — the
+paper's headline trade-off quantified end to end.
+"""
+
+from repro.analysis.tables import render_table
+from repro.asm import Assembler, assemble
+from repro.sfi import SfiSystem
+from repro.sfi.runtime_asm import build_runtime
+from repro.sim import Machine
+from repro.umpu import UmpuSystem
+
+PRODUCER = """
+.equ MALLOC = {MALLOC}
+.equ CHANGE_OWN = {CHANGE_OWN}
+.equ CONSUME = {CONSUME}
+.equ CONSUMER_DOM = {CONSUMER_DOM}
+
+produce:                    ; one pipeline iteration
+    push r16
+    ldi r24, 12
+    ldi r25, 0
+    call MALLOC
+    cp r24, r1
+    cpc r25, r1
+    breq p_done
+    movw r16, r24           ; keep the packet pointer
+    movw r26, r24
+    ldi r18, 8
+p_fill:
+    st X+, r18
+    dec r18
+    brne p_fill
+    movw r24, r16
+    ldi r22, CONSUMER_DOM
+    call CHANGE_OWN         ; hand the packet to the consumer
+    movw r24, r16
+    call CONSUME
+p_done:
+    pop r16
+    ret
+"""
+
+CONSUMER = """
+.equ FREE = {FREE}
+
+consume:                    ; r24:25 = packet (we own it now)
+    push r16
+    push r17
+    movw r16, r24
+    movw r26, r24
+    ldi r18, 0x7E
+    st X, r18               ; stamp the header
+    movw r24, r16
+    call FREE
+    pop r17
+    pop r16
+    ret
+"""
+
+ITERATIONS = 10
+
+
+def run_unprotected():
+    """Both modules + runtime in one image on a stock core."""
+    layout_runtime = build_runtime()
+    # consumer first: `.equ CONSUME = consume` needs the label defined
+    src = (".org 0x3000\n"
+           + CONSUMER.format(FREE="free_unprot")
+           + "\n.org 0x3400\n"
+           + PRODUCER.format(MALLOC="malloc_unprot",
+                             CHANGE_OWN="chown_unprot",
+                             CONSUME="consume", CONSUMER_DOM=1))
+    program = Assembler(symbols=dict(layout_runtime.symbols)).assemble(
+        src, "unprot")
+    machine = Machine(layout_runtime)
+    for w, v in program.words.items():
+        machine.memory.write_flash_word(w, v)
+    machine.core.invalidate_decode_cache()
+    machine.call("hb_init", max_cycles=100000)
+    produce = program.symbol("produce")
+    total = 0
+    for _ in range(ITERATIONS):
+        total += machine.call(produce, max_cycles=100000)
+    return total // ITERATIONS
+
+
+def _consumer_src(system):
+    return CONSUMER.format(
+        FREE=hex(system.kernel_symbols()["KERNEL_FREE"]))
+
+
+def _producer_src(system, consumer_entry, consumer_dom):
+    syms = system.kernel_symbols()
+    return PRODUCER.format(MALLOC=hex(syms["KERNEL_MALLOC"]),
+                           CHANGE_OWN=hex(syms["KERNEL_CHANGE_OWN"]),
+                           CONSUME=hex(consumer_entry),
+                           CONSUMER_DOM=consumer_dom)
+
+
+def run_sfi():
+    system = SfiSystem()
+    consumer = system.load_module(
+        assemble(_consumer_src(system), "consumer"), "consumer",
+        exports=("consume",))
+    system.load_module(
+        assemble(_producer_src(system, consumer.exports["consume"],
+                               consumer.domain), "producer"),
+        "producer", exports=("produce",))
+    total = 0
+    for _ in range(ITERATIONS):
+        _r, cycles = system.call_export("producer", "produce",
+                                        max_cycles=100000)
+        total += cycles
+    return total // ITERATIONS
+
+
+def run_umpu():
+    system = UmpuSystem()
+    consumer = system.load_module(
+        assemble(_consumer_src(system), "consumer"), "consumer",
+        exports=("consume",))
+    system.load_module(
+        assemble(_producer_src(system, consumer.exports["consume"],
+                               consumer.domain), "producer"),
+        "producer", exports=("produce",))
+    total = 0
+    for _ in range(ITERATIONS):
+        _r, cycles = system.call_export("producer", "produce",
+                                        max_cycles=100000)
+        total += cycles
+    return total // ITERATIONS
+
+
+def build_table():
+    base = run_unprotected()
+    sfi = run_sfi()
+    umpu = run_umpu()
+    rows = [
+        ("unprotected", base, "1.00x", "-"),
+        ("UMPU (hardware)", umpu, "{:.2f}x".format(umpu / base),
+         "{:+.1f}%".format(100.0 * (umpu - base) / base)),
+        ("SFI (binary rewrite)", sfi, "{:.2f}x".format(sfi / base),
+         "{:+.1f}%".format(100.0 * (sfi - base) / base)),
+    ]
+    table = render_table(
+        "Application-level overhead: producer/consumer pipeline "
+        "({} iterations)".format(ITERATIONS),
+        ("Configuration", "Cycles/iter", "Relative", "Overhead"),
+        rows,
+        note="per iteration: 1 malloc + 8 stores + 1 change_own + "
+             "1 cross-domain call + 1 store + 1 free.  UMPU's residual "
+             "overhead is dominated by the protected *library* "
+             "(memory-map updates, Table 4), not the hardware checks; "
+             "SFI pays that plus software checks on every store/call.")
+    return {"base": base, "sfi": sfi, "umpu": umpu}, table
+
+
+def test_macro_overhead(benchmark, show):
+    from conftest import once
+    result, table = once(benchmark, build_table)
+    show(table)
+    # the co-design headline: hardware protection costs a fraction of
+    # software protection; both cost something
+    assert result["base"] < result["umpu"] < result["sfi"]
+    assert result["umpu"] - result["base"] < \
+        (result["sfi"] - result["base"]) / 3
+    # even on this maximally check-dense workload (every iteration is
+    # almost nothing but allocator traffic and cross-domain calls) the
+    # hardware system stays well under half the software system's cost
+    assert result["umpu"] < result["sfi"] / 2
+
+
+if __name__ == "__main__":
+    print(build_table()[1])

@@ -1,0 +1,45 @@
+"""Section 5.2 sizing numbers: memory-map bytes for the paper's three
+configurations plus a full block-size/mode sweep."""
+
+from repro.analysis.sizing import (
+    PAPER_SIZING,
+    paper_sizing_points,
+    sweep,
+)
+from repro.analysis.tables import render_table
+
+
+def build_tables():
+    points = paper_sizing_points()
+    rows = [(p.label, p.covered_bytes, p.mode, p.table_bytes,
+             "{:.2f}%".format(p.overhead_pct)) for p in points]
+    table = render_table(
+        "Section 5.2 -- Memory map sizing (paper: 256 / 140 / 70 bytes)",
+        ("Configuration", "Covered B", "Mode", "Table B", "Overhead"),
+        rows)
+    grid = sweep()
+    rows2 = [(p.label, p.table_bytes, "{:.2f}%".format(p.overhead_pct))
+             for p in grid]
+    table2 = render_table(
+        "Sweep: table bytes vs block size and protection mode",
+        ("Config", "Table B", "Overhead"), rows2,
+        note="larger blocks shrink the table but coarsen protection; "
+             "the paper picks 8-byte blocks")
+    return points, table + "\n" + table2
+
+
+def test_sizing_reproduces_paper_numbers(benchmark, show):
+    points, tables = build_tables()
+    show(tables)
+    benchmark(paper_sizing_points)
+    by_label = {p.label: p.table_bytes for p in points}
+    assert by_label["full address space, multi-domain"] == \
+        PAPER_SIZING["memmap_full_multi"]
+    assert by_label["heap + safe stack, multi-domain"] == \
+        PAPER_SIZING["memmap_heapstack_multi"]
+    assert by_label["heap + safe stack, two-domain"] == \
+        PAPER_SIZING["memmap_heapstack_two"]
+
+
+if __name__ == "__main__":
+    print(build_tables()[1])

@@ -1,0 +1,62 @@
+"""Table 1 (paper Table `mmap_table`): the memory-map permission codes,
+printed from the implementation (the codes in the table are computed,
+not transcribed), plus encode/decode throughput."""
+
+from repro.analysis.tables import render_table
+from repro.core.encoding import (
+    MultiDomainEncoding,
+    TRUSTED_DOMAIN,
+    TwoDomainEncoding,
+)
+
+
+def build_table():
+    enc = MultiDomainEncoding()
+    rows = [
+        ("{:04b}".format(enc.encode(TRUSTED_DOMAIN, True)),
+         "Free or Start of Trusted Segment"),
+        ("{:04b}".format(enc.encode(TRUSTED_DOMAIN, False)),
+         "Later portion of Trusted Segment"),
+        ("xxx1", "Start of Domain (0 - 6) Segment"),
+        ("xxx0", "Later portion of Domain (0 - 6) Segment"),
+    ]
+    table = render_table(
+        "Table 1 -- Encoded information in memory map table "
+        "(multi-domain)",
+        ("Code", "Meaning"), rows)
+    two = TwoDomainEncoding()
+    rows2 = [
+        ("{:02b}".format(two.encode(TRUSTED_DOMAIN, True)),
+         "Free or Start of Trusted Segment"),
+        ("{:02b}".format(two.encode(TRUSTED_DOMAIN, False)),
+         "Later portion of Trusted Segment"),
+        ("{:02b}".format(two.encode(0, True)), "Start of User Segment"),
+        ("{:02b}".format(two.encode(0, False)),
+         "Later portion of User Segment"),
+    ]
+    table2 = render_table(
+        "Two-domain variant (2-bit entries, paper section 5.2)",
+        ("Code", "Meaning"), rows2)
+    return rows, table + "\n" + table2
+
+
+def test_table1_codes(benchmark, show):
+    _rows, table = build_table()
+    show(table)
+    enc = MultiDomainEncoding()
+
+    def encode_decode_sweep():
+        for dom in range(8):
+            for start in (True, False):
+                assert enc.decode(enc.encode(dom, start)).owner == dom
+
+    benchmark(encode_decode_sweep)
+    assert enc.encode(TRUSTED_DOMAIN, True) == 0b1111   # paper row 1
+    assert enc.encode(TRUSTED_DOMAIN, False) == 0b1110  # paper row 2
+    for dom in range(7):
+        assert enc.encode(dom, True) & 1 == 1           # xxx1
+        assert enc.encode(dom, False) & 1 == 0          # xxx0
+
+
+if __name__ == "__main__":
+    print(build_table()[1])

@@ -1,0 +1,27 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one of the paper's tables or figures and prints
+it paper-vs-measured (visible with ``pytest benchmarks/ -s`` or via
+``python benchmarks/run_all.py``), in addition to timing the harness
+with pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print *text* to the real terminal even under capture."""
+    def _show(text):
+        with capsys.disabled():
+            print()
+            print(text)
+    return _show
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark timer (the heavy
+    measurement harnesses are deterministic; repeating them only slows
+    the suite)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation in one
+run (the script form of the bench suite).
+
+Run:  python benchmarks/run_all.py
+"""
+
+import importlib
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+MODULES = [
+    ("bench_table1_encoding", "Table 1"),
+    ("bench_table2_registers", "Table 2"),
+    ("bench_table3_microbm", "Table 3"),
+    ("bench_table4_malloc", "Table 4"),
+    ("bench_table5_swlib", "Table 5"),
+    ("bench_table6_gates", "Table 6"),
+    ("bench_fig2_domains", "Figure 2"),
+    ("bench_fig3_mmc_intercept", "Figure 3"),
+    ("bench_fig4_mmc_timing", "Figure 4"),
+    ("bench_fig5_cross_domain", "Figure 5"),
+    ("bench_sizing_sweep", "Section 5.2 sizing"),
+    ("bench_macro_overhead", "Application-level overhead (M1)"),
+    ("bench_loadtime", "Load-time pipeline costs"),
+    ("bench_ablation_blocks", "Ablation: block size"),
+    ("bench_safe_stack_depth", "Safe-stack sizing"),
+    ("bench_verifier_space", "Verifier design space"),
+]
+
+
+def main():
+    for name, label in MODULES:
+        module = importlib.import_module(name)
+        print()
+        print("#" * 70)
+        print("# {}".format(label))
+        print("#" * 70)
+        if hasattr(module, "build_table"):
+            print(module.build_table()[1])
+        if hasattr(module, "build_tables"):
+            print(module.build_tables()[1])
+        if hasattr(module, "build_figure"):
+            print(module.build_figure()[1])
+        if hasattr(module, "build_timing"):
+            print(module.build_timing()[2])
+            print()
+            print(module.build_translation()[1])
+        if hasattr(module, "build_structure_report"):
+            print()
+            print(module.build_structure_report())
+
+
+if __name__ == "__main__":
+    main()

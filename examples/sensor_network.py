@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""A multi-hop sensor network, with and without Harbor.
+
+The paper opens with the deployment story: "current and upcoming sensor
+network deployments require high availability ... bugs in any part of
+the software can easily bring down an entire network."  This example
+builds an 8-node collection tree running Surge + Tree routing, injects
+the paper's bug on two nodes (they lose their route), and compares the
+network-level outcome protected vs unprotected.
+
+Topology (node 0 is the sink)::
+
+        0
+       / \\
+      1   2
+     / \\   \\
+    3   4   5
+    |
+    6       7*        (* node 7 is isolated: no route)
+
+Run:  python examples/sensor_network.py
+"""
+
+from repro.sos import SensorNetwork, SurgeModule
+
+LINKS = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6)]
+NODES = list(range(8))  # node 7 has no link: the paper's rare condition
+ROUNDS = 3
+
+
+def build(protected):
+    net = SensorNetwork(protected=protected)
+    for node_id in NODES:
+        net.add_node(node_id,
+                     sensor_series=[node_id * 16 + k
+                                    for k in range(1, ROUNDS + 2)])
+    for a, b in LINKS:
+        net.link(a, b)
+    net.build_tree(0)
+    net.install_collection(surge_cls=SurgeModule)
+    return net
+
+
+def run_campaign(protected):
+    net = build(protected)
+    for _ in range(ROUNDS):
+        net.sample_all()
+        net.run(rounds=5)
+    return net
+
+
+def describe(net, label):
+    samplers = sum(1 for n in net.nodes.values() if not n.is_sink)
+    expected = samplers * ROUNDS
+    print("\n--- {} ---".format(label))
+    print("packets at sink : {:>3} / {} expected from {} samplers"
+          .format(len(net.delivered), expected, samplers))
+    by_hops = {}
+    for pkt in net.delivered:
+        by_hops[pkt.hops] = by_hops.get(pkt.hops, 0) + 1
+    for hops in sorted(by_hops):
+        print("  {} hop(s): {} packets".format(hops, by_hops[hops]))
+    crashed = net.crashed_modules()
+    if crashed:
+        print("crashed modules  :", crashed)
+    faults = net.fault_report()
+    for node_id, messages in faults.items():
+        print("node {} faults    : {}".format(node_id, messages[0]))
+    if not faults:
+        print("faults           : none reported")
+    return net
+
+
+def count_corruption(net):
+    total = 0
+    for node in net.nodes.values():
+        kernel = node.kernel
+        surge = kernel.modules.get("surge")
+        if surge is None:
+            continue
+        own = surge.domain.did
+        heap = kernel.harbor.heap
+        for addr in range(heap.start, heap.end):
+            value = kernel.harbor.load(addr)
+            if value and (value & 0x0F) in range(1, ROUNDS + 2) \
+                    and kernel.harbor.memmap.owner_of(addr) != own \
+                    and (value >> 4) == node.node_id:
+                total += 1
+    return total
+
+
+def main():
+    print("=" * 64)
+    print("8-node collection tree; node 7 is isolated (no route) and")
+    print("runs the buggy Surge — the paper's 'rare condition'")
+    print("=" * 64)
+
+    protected = describe(run_campaign(True), "WITH Harbor (protected)")
+    unprotected = describe(run_campaign(False),
+                           "WITHOUT Harbor (unprotected)")
+
+    print("\nsummary:")
+    print("  protected  : the fault is *detected and attributed* "
+          "(node 7, surge, MemMapFault);")
+    print("               every routed node keeps delivering ({} pkts)"
+          .format(len(protected.delivered)))
+    dirty = count_corruption(unprotected)
+    print("  unprotected: zero faults reported, but ~{} foreign heap "
+          "byte(s) now hold node 7's samples —".format(dirty))
+    print("               the corruption the paper says 'would cause "
+          "some of the nodes in the network to crash'")
+
+
+if __name__ == "__main__":
+    main()

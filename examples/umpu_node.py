@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A node with the UMPU hardware extensions (the paper's second system).
+
+The same module binary runs *unmodified* — no rewriting — because the
+checks live in the MMC, the safe-stack unit and the domain tracker.
+This example boots a two-module node, drives cross-domain traffic,
+provokes a fault, and compares the protection overhead against the
+software-only system on an identical workload.
+
+Run:  python examples/umpu_node.py
+"""
+
+from repro.asm import assemble
+from repro.core.faults import MemMapFault
+from repro.umpu import HarborLayout, UmpuMachine
+
+LAYOUT = HarborLayout()
+JT_DOM0 = LAYOUT.jt_base            # domain 0's jump-table page
+JT_DOM1 = LAYOUT.jt_base + 512      # domain 1's
+
+NODE_SRC = """
+; ---- domain 0: a counter service --------------------------------
+.org 0x2000
+counter_service:            ; increments its counter, returns it
+    lds r24, 0x0400
+    inc r24
+    sts 0x0400, r24         ; store into domain 0's segment
+    ret
+
+; ---- domain 1: a client ------------------------------------------
+.org 0x2800
+client_tick:                ; calls the counter service across domains
+    call {jt0:#x}
+    sts 0x0480, r24         ; cache the result in domain 1's segment
+    ret
+client_attack:              ; tries to bump the counter directly
+    ldi r24, 99
+    sts 0x0400, r24
+    ret
+
+; ---- jump tables ---------------------------------------------------
+.org {jt0:#x}
+    jmp counter_service
+.org {jt1:#x}
+    jmp client_tick
+""".format(jt0=JT_DOM0, jt1=JT_DOM1)
+
+
+def build_node():
+    machine = UmpuMachine(assemble(NODE_SRC, "umpu_node"), layout=LAYOUT)
+    # the trusted runtime's boot work: owned segments + code regions
+    machine.memmap.set_segment(0x0400, 32, 0)
+    machine.memmap.set_segment(0x0480, 32, 1)
+    machine.tracker.register_code_region(0, 0x2000, 0x2800)
+    machine.tracker.register_code_region(1, 0x2800, 0x3000)
+    return machine
+
+
+def main():
+    print("=" * 64)
+    print("UMPU: hardware-accelerated Harbor "
+          "(same ISA, no binary rewriting)")
+    print("=" * 64)
+
+    node = build_node()
+    print("\nUMPU registers after boot:")
+    for name, value in node.regs.dump().items():
+        print("  {:<16} = 0x{:04x}".format(name, value))
+
+    # -- cross-domain traffic -------------------------------------------
+    print("\n[1] client (domain 1) calls the counter service "
+          "(domain 0) three times:")
+    for _ in range(3):
+        node.enter_domain(1)
+        cycles = node.call("client_tick")
+        print("    counter={}  cached by client={}  ({} cycles, "
+              "x-calls so far: {})".format(
+                  node.memory.read_data(0x0400),
+                  node.memory.read_data(0x0480),
+                  cycles, node.tracker.cross_calls))
+
+    # -- hardware fault ---------------------------------------------------
+    print("\n[2] client tries to bump the counter directly:")
+    node.enter_domain(1)
+    try:
+        node.call("client_attack")
+    except MemMapFault as exc:
+        print("    MMC exception: {}".format(exc))
+    print("    counter intact: {}".format(node.memory.read_data(0x0400)))
+
+    # -- the cost of protection -----------------------------------------------
+    print("\n[3] protection overhead on this workload:")
+    node = build_node()
+    node.enter_domain(1)
+    protected = node.call("client_tick")
+    node2 = build_node()
+    with node2.protection_disabled():
+        node2.enter_domain(1)
+        unprotected = node2.call("client_tick")
+    print("    protected   : {} cycles".format(protected))
+    print("    unprotected : {} cycles".format(unprotected))
+    print("    overhead    : {} cycles (= cross-domain call 5 + jump "
+          "redirect + ret 5 + 2 checked stores)".format(
+              protected - unprotected))
+    pct = 100.0 * (protected - unprotected) / unprotected
+    print("    relative    : {:.1f}% on this (call-heavy) workload"
+          .format(pct))
+
+    print("\n[4] the very same binary runs on a stock AVR: "
+          "`Machine(assemble(NODE_SRC))` executes it identically —\n"
+          "    the extensions do not change the instruction set "
+          "(existing toolchains keep working).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Harbor / UMPU: coarse-grained memory protection for tiny embedded
+processors.
+
+Reproduction of Kumar et al., "A System For Coarse Grained Memory
+Protection In Tiny Embedded Processors" (DAC 2007).
+
+Subpackages
+-----------
+``repro.isa``
+    AVR (ATmega103-class) instruction-set definition and binary coding.
+``repro.asm``
+    Two-pass assembler / disassembler toolchain.
+``repro.sim``
+    Cycle-counting instruction-level simulator with a hookable data bus.
+``repro.core``
+    The Harbor protection primitives: memory map, protection domains,
+    safe stack, cross-domain control flow, protected heap (golden model).
+``repro.sfi``
+    The software-only system: binary rewriter + on-node verifier +
+    assembly runtime (run-time checks as routines in the trusted domain).
+``repro.umpu``
+    The hardware system: MMC, safe-stack unit, domain tracker and
+    configuration registers as bus functional units, plus the gate-count
+    area model.
+``repro.sos``
+    Mini SOS-like operating system substrate: loadable modules,
+    messaging, dynamic memory, cross-domain linker (jump tables).
+``repro.analysis``
+    Table rendering and sizing models used by the benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""Measurement and reporting: micro-benchmark harness (Tables 3-4),
+sizing model (Table 5 / §5.2), table rendering."""
+
+from repro.analysis.microbench import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    measure_sfi,
+    measure_table3,
+    measure_table4,
+    measure_umpu,
+    step_trace,
+    window_cycles,
+)
+from repro.analysis.sizing import (
+    PAPER_SIZING,
+    PAPER_TABLE5,
+    SizingPoint,
+    measure_library,
+    memmap_size,
+    paper_sizing_points,
+    sweep,
+)
+from repro.analysis.tables import comparison_rows, ratio, render_table
+
+__all__ = [
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "measure_sfi",
+    "measure_table3",
+    "measure_table4",
+    "measure_umpu",
+    "step_trace",
+    "window_cycles",
+    "PAPER_SIZING",
+    "PAPER_TABLE5",
+    "SizingPoint",
+    "measure_library",
+    "memmap_size",
+    "paper_sizing_points",
+    "sweep",
+    "comparison_rows",
+    "ratio",
+    "render_table",
+]

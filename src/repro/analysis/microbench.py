@@ -1,0 +1,301 @@
+"""Micro-benchmark measurement harness (paper Tables 3 and 4).
+
+Measures the CPU-cycle overhead of every protection routine on both
+systems:
+
+* **AVR extension** (UMPU): cycles the hardware units add, measured by
+  running the same binary with the units enabled and disabled;
+* **AVR binary rewrite** (SFI): cycles of the runtime check routines
+  plus the module-side marshaling the rewriter emits, measured with a
+  step-level PC/cycle trace between marker labels that the rewriter's
+  address map translates to the rewritten image.
+
+All numbers are *overheads relative to the unprotected instruction*
+(a 2-cycle ``st``, a 4-cycle ``call``, a 4-cycle ``ret``), which is what
+the paper tabulates.
+"""
+
+from dataclasses import dataclass
+
+from repro.asm import assemble
+from repro.sfi.system import SfiSystem
+from repro.sim.machine import CALL_SENTINEL_WORD
+from repro.umpu import HarborLayout, UmpuMachine
+
+#: Paper Table 3 (cycles): routine -> (AVR extension, binary rewrite).
+PAPER_TABLE3 = {
+    "Memmap Checker": (1, 65),
+    "Cross Domain Call": (5, 65),
+    "Cross Domain Ret": (5, 28),
+    "Save Ret Addr": (0, 38),
+    "Restore Ret Addr": (0, 38),
+}
+
+#: Paper Table 4 (cycles): routine -> (normal, protected).
+PAPER_TABLE4 = {
+    "malloc": (343, 610),
+    "free": (138, 425),
+    "change_own": (55, 365),
+}
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    pc_byte: int
+    cycles: int
+
+
+def step_trace(machine, target, args=(), max_steps=100000):
+    """Run subroutine *target* one step at a time; returns (pc, cycles)
+    records for every executed instruction."""
+    machine.set_args(*args)
+    machine.core.push_return_address(CALL_SENTINEL_WORD)
+    machine.core.pc = machine.resolve(target) // 2
+    records = []
+    for _ in range(max_steps):
+        if machine.core.pc == CALL_SENTINEL_WORD or machine.core.halted:
+            return records
+        pc = machine.core.pc * 2
+        cycles = machine.core.step()
+        records.append(StepRecord(pc, cycles))
+    raise RuntimeError("step trace did not terminate")
+
+
+def window_cycles(records, start_byte, end_byte):
+    """Cycles from the first execution at *start_byte* up to (not
+    including) the first later execution at *end_byte*."""
+    total = 0
+    active = False
+    for rec in records:
+        if not active and rec.pc_byte == start_byte:
+            active = True
+        elif active and rec.pc_byte == end_byte:
+            return total
+        if active:
+            total += rec.cycles
+    raise ValueError("window [{:#x}, {:#x}) not found in trace".format(
+        start_byte, end_byte))
+
+
+# =====================================================================
+# UMPU measurements (Table 3, "AVR Extension")
+# =====================================================================
+_UMPU_BENCH_SRC = """
+store_fn:                   ; sts into the probe address
+    sts {probe:#x}, r18
+    ret
+local_fn:
+    ret
+local_call_fn:              ; a plain call/ret pair
+    call local_fn
+    ret
+xcall_fn:                   ; a cross-domain call through the jump table
+m_xcall:
+    call {jt_entry:#x}
+m_after_call:
+    ret
+.org {jt_entry:#x}
+    jmp remote_fn
+.org {module_code:#x}
+remote_fn:
+    ret
+"""
+
+
+def build_umpu_bench(layout=None):
+    """An UmpuMachine set up for the Table 3 measurements."""
+    layout = layout or HarborLayout()
+    probe = layout.prot_bottom + 0x40
+    jt_entry = layout.jt_base + 1 * 512  # domain 1's first entry
+    src = _UMPU_BENCH_SRC.format(probe=probe, jt_entry=jt_entry,
+                                 module_code=layout.jt_base + 8 * 512)
+    machine = UmpuMachine(assemble(src, "umpu_bench"), layout=layout)
+    machine.memmap.set_segment(probe, 8, 0)  # domain 0 owns the probe
+    machine.tracker.register_code_region(0, 0, layout.jt_base)
+    machine.tracker.register_code_region(1, layout.jt_base + 8 * 512,
+                                         layout.jt_base + 9 * 512)
+    return machine, probe, jt_entry
+
+
+def measure_umpu():
+    """Table 3, 'AVR Extension' column (measured)."""
+    machine, _probe, _jt = build_umpu_bench()
+    syms = machine.program.symbols
+
+    # -- memmap checker: store by an untrusted domain vs MMC disabled
+    machine.enter_domain(0)
+    protected = machine.call("store_fn")
+    with machine.protection_disabled():
+        machine.reset()
+        baseline = machine.call("store_fn")
+    checker = protected - baseline
+
+    # -- cross-domain call/ret: step trace through the jump table
+    machine.reset()
+    machine.enter_trusted()
+    records = step_trace(machine, "xcall_fn")
+    call_side = window_cycles(records, syms["m_xcall"], syms["remote_fn"])
+    ret_side = window_cycles(records, syms["remote_fn"],
+                             syms["m_after_call"])
+    machine.reset()
+    machine.enter_trusted()
+    base = step_trace(machine, "local_call_fn")
+    base_call = window_cycles(base, syms["local_call_fn"],
+                              syms["local_fn"])
+    base_ret = window_cycles(base, syms["local_fn"],
+                             syms["local_call_fn"] + 4)
+
+    # -- save/restore ret addr: plain call/ret pair with units on vs off
+    machine.reset()
+    machine.enter_trusted()
+    pair_on = machine.call("local_call_fn")
+    with machine.protection_disabled():
+        machine.reset()
+        pair_off = machine.call("local_call_fn")
+    save_restore = pair_on - pair_off  # expected 0
+
+    return {
+        "Memmap Checker": checker,
+        "Cross Domain Call": call_side - base_call,
+        "Cross Domain Ret": ret_side - base_ret,
+        "Save Ret Addr": save_restore,
+        "Restore Ret Addr": save_restore,
+    }
+
+
+# =====================================================================
+# SFI measurements (Table 3, "AVR Binary Rewrite")
+# =====================================================================
+_SFI_MODULE_SRC = """
+do_store:                   ; one store, value not in r18 (typical case)
+    movw r26, r24
+m_st_begin:
+    st X, r22
+m_st_end:
+    ret
+do_xcall:                   ; one cross-domain call to the kernel noop
+    nop
+m_x_begin:
+    call {KERNEL_NOOP:#x}
+m_x_end:
+    ret
+leaf_fn:                    ; pure call/ret (prologue/epilogue only)
+    nop
+m_leaf_ret:
+    ret
+"""
+
+
+def build_sfi_bench():
+    """An SfiSystem with the measurement module loaded; returns
+    (system, module record, rewritten symbol table)."""
+    system = SfiSystem()
+    src = _SFI_MODULE_SRC.format(**system.kernel_symbols())
+    program = assemble(src, "bench_mod")
+    module = system.load_module(
+        program, "bench_mod", exports=("do_store", "do_xcall", "leaf_fn"))
+    # re-run the (deterministic) rewriter to obtain the translated
+    # marker symbols of the loaded image
+    rewritten = system.rewriter.rewrite(
+        program, module.start, exports=("do_store", "do_xcall", "leaf_fn"))
+    return system, module, rewritten.program.symbols
+
+
+def measure_sfi():
+    """Table 3, 'AVR Binary Rewrite' column (measured)."""
+    system, module, syms = build_sfi_bench()
+    machine = system.machine
+    rt = system.runtime.symbols
+    probe = system.malloc(8, domain=module.domain)
+
+    def as_module():
+        machine.memory.write_data(system.layout.cur_dom, module.domain)
+
+    # -- memmap checker: the whole rewritten store sequence vs native st
+    as_module()
+    records = step_trace(machine, syms["do_store"],
+                         args=(probe, ("u8", 0x42)))
+    checker = window_cycles(records, syms["m_st_begin"],
+                            syms["m_st_end"]) - 2
+    # decomposition: cycles spent inside hb_check_x's body (what an
+    # inlined check would still pay) vs call/marshal overhead
+    body_lo = rt["hb_check_x"]
+    body_hi = rt["hb_st_x"]
+    measure_sfi.checker_body = sum(
+        r.cycles for r in records if body_lo <= r.pc_byte < body_hi)
+    measure_sfi.checker_dispatch = checker - measure_sfi.checker_body
+
+    # -- cross-domain call/ret via hb_xdom_call to the kernel noop
+    system.boot()
+    as_module()
+    records = step_trace(machine, syms["do_xcall"])
+    call_side = window_cycles(records, syms["m_x_begin"],
+                              rt["hb_noop"]) - 4
+    ret_side = window_cycles(records, rt["hb_noop"], syms["m_x_end"]) - 4
+
+    # -- save/restore stubs: prologue/epilogue of the leaf function
+    system.boot()
+    as_module()
+    records = step_trace(machine, syms["leaf_fn"])
+    # prologue window includes the separating nop (1 cycle)
+    save = window_cycles(records, syms["leaf_fn"],
+                         syms["m_leaf_ret"]) - 1
+    total_fn = sum(r.cycles for r in records)
+    # epilogue = everything after the nop, minus the final 4-cycle ret
+    restore = total_fn - (save + 1) - 4
+
+    return {
+        "Memmap Checker": checker,
+        "Cross Domain Call": call_side,
+        "Cross Domain Ret": ret_side,
+        "Save Ret Addr": save,
+        "Restore Ret Addr": restore,
+    }
+
+
+def measure_table3():
+    """Both columns of Table 3, measured."""
+    umpu = measure_umpu()
+    sfi = measure_sfi()
+    return {name: (umpu[name], sfi[name]) for name in PAPER_TABLE3}
+
+
+# =====================================================================
+# Table 4: the dynamic-memory library
+# =====================================================================
+def measure_table4(alloc_bytes=16, warmup_allocs=4):
+    """Cycles of malloc/free/change_own, normal vs protected.
+
+    *warmup_allocs* populates the heap first so the free list walk is
+    non-trivial (a fresh heap would flatter malloc).
+    """
+    system = SfiSystem()
+    machine = system.machine
+
+    def measure(variant):
+        system.boot()
+        held = []
+        for _ in range(warmup_allocs):
+            machine.call("hb_malloc" if variant == "protected"
+                         else "malloc_unprot", alloc_bytes)
+            held.append(machine.result16())
+        if variant == "protected":
+            m_cycles = machine.call("hb_malloc", alloc_bytes)
+            ptr = machine.result16()
+            c_cycles = machine.call("hb_change_own", ptr, ("u8", 2))
+            f_cycles = machine.call("hb_free", ptr)
+        else:
+            m_cycles = machine.call("malloc_unprot", alloc_bytes)
+            ptr = machine.result16()
+            c_cycles = machine.call("chown_unprot", ptr, ("u8", 2))
+            f_cycles = machine.call("free_unprot", ptr)
+        assert ptr, "allocation failed during measurement"
+        return m_cycles, f_cycles, c_cycles
+
+    nm, nf, nc = measure("normal")
+    pm, pf, pc = measure("protected")
+    return {
+        "malloc": (nm, pm),
+        "free": (nf, pf),
+        "change_own": (nc, pc),
+    }

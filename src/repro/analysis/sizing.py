@@ -1,0 +1,132 @@
+"""Memory-map sizing model (paper §5.2).
+
+The paper's resource numbers all follow from the table geometry:
+
+* 4 KiB address space / 8-byte blocks / 4-bit entries = **256 bytes**
+  of memory map — "an overhead of 6.25%";
+* protecting only the heap and safe stack (abutted) shrinks the covered
+  range so the multi-domain map needs **140 bytes**;
+* two-domain protection halves the entry to 2 bits: **70 bytes**
+  ("1.7%") over the same range.
+
+This module computes those numbers from
+:class:`~repro.core.memmap.MemMapConfig` for arbitrary configurations
+(the sweep bench uses it), and collects the software-library size
+measurements for Table 5.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.memmap import MemMapConfig
+from repro.isa.registers import ATMEGA103
+
+
+@dataclass(frozen=True)
+class SizingPoint:
+    """One configuration in the sizing sweep."""
+
+    label: str
+    covered_bytes: int
+    block_size: int
+    mode: str
+    table_bytes: int
+    overhead_pct: float  # of total data space
+
+
+def memmap_size(covered_bytes, block_size=8, mode="multi",
+                data_space=ATMEGA103.data_space_bytes):
+    """Table bytes + overhead %% for a protected range of *covered_bytes*."""
+    cfg = MemMapConfig(prot_bottom=0, prot_top=covered_bytes - 1,
+                       block_size=block_size, mode=mode)
+    return cfg.table_bytes, 100.0 * cfg.table_bytes / data_space
+
+
+def paper_sizing_points(heap_and_stack_bytes=2240,
+                        data_space=ATMEGA103.data_space_bytes):
+    """The three configurations §5.2 quotes.
+
+    ``heap_and_stack_bytes`` defaults to 2240: 140 bytes x 2 entries
+    per byte x 8-byte blocks — the heap + safe-stack range that yields
+    the paper's 140/70-byte figures.
+    """
+    points = []
+    for label, covered, mode in (
+            ("full address space, multi-domain", data_space, "multi"),
+            ("heap + safe stack, multi-domain", heap_and_stack_bytes,
+             "multi"),
+            ("heap + safe stack, two-domain", heap_and_stack_bytes, "two"),
+            ("full address space, two-domain", data_space, "two"),
+    ):
+        table, pct = memmap_size(covered, 8, mode, data_space)
+        points.append(SizingPoint(label, covered, 8, mode, table, pct))
+    return points
+
+
+def sweep(block_sizes=(4, 8, 16, 32, 64), modes=("multi", "two"),
+          covered_bytes=ATMEGA103.data_space_bytes,
+          data_space=ATMEGA103.data_space_bytes):
+    """Full sizing sweep: table bytes for every (block size, mode)."""
+    points = []
+    for mode in modes:
+        for bs in block_sizes:
+            table, pct = memmap_size(covered_bytes, bs, mode, data_space)
+            points.append(SizingPoint(
+                "block={}B {}".format(bs, mode), covered_bytes, bs, mode,
+                table, pct))
+    return points
+
+
+#: Paper Table 5 (FLASH/RAM bytes of the software library) for
+#: comparison columns.
+PAPER_TABLE5 = {
+    "Dynamic Memory": (1204, 2054),
+    "Memory Map": (422, 256),
+    "Jump Table": (2048, 0),
+}
+
+#: Paper §5.2 headline numbers.
+PAPER_SIZING = {
+    "memmap_full_multi": 256,
+    "memmap_heapstack_multi": 140,
+    "memmap_heapstack_two": 70,
+    "library_code_bytes": 3674,
+    "overhead_full_pct": 6.25,
+    "overhead_two_pct": 1.7,
+    "code_pct": 2.8,
+}
+
+
+def measure_library(layout=None):
+    """Measure our software library the way Table 5 partitions it.
+
+    FLASH: assembled bytes of (a) the allocator + services ("Dynamic
+    Memory"), (b) the checker + safe stack + cross-domain machinery
+    ("Memory Map" checks), (c) the jump-table region.  RAM: heap
+    metadata + state cells, memory map table, none for the jump table.
+    """
+    from repro.sfi.layout import SfiLayout
+    from repro.sfi.runtime_asm import build_runtime
+    layout = layout or SfiLayout()
+    program = build_runtime(layout)
+    sym = program.symbols
+
+    def span(first_label, end_label):
+        return sym[end_label] - sym[first_label]
+
+    # section boundaries follow source order in runtime_asm.runtime_source
+    checks_flash = span("hb_fault_r20", "hb_malloc_core")
+    dynmem_flash = span("hb_malloc_core", "hb_init")
+    init_flash = span("hb_init", "rt_end")
+    memmap_ram = layout.memmap_config.table_bytes
+    # dynamic-memory RAM: the heap metadata is in-band (headers/free
+    # nodes), so its resident cost is the state cells + safe stack
+    state_ram = layout.scratch + 2 - layout.cur_dom
+    safe_stack_ram = layout.safe_stack_limit - layout.safe_stack_base
+    jt_flash = layout.ndomains * layout.jt_page_bytes
+    return {
+        "Dynamic Memory": (dynmem_flash + init_flash, state_ram),
+        "Memory Map": (checks_flash, memmap_ram + safe_stack_ram),
+        "Jump Table": (jt_flash, 0),
+        "total_code_bytes": program.code_bytes,
+        "code_pct": 100.0 * program.code_bytes / ATMEGA103.flash_bytes,
+    }

@@ -1,0 +1,53 @@
+"""Paper-style table rendering for benches and EXPERIMENTS.md.
+
+Each bench prints the rows the paper's table prints, with a *paper*
+column next to the *measured* column so reproduction quality is visible
+at a glance.
+"""
+
+
+def render_table(title, headers, rows, note=None):
+    """Render an ASCII table (list of row tuples) with a title."""
+    widths = [len(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [_fmt(c) for c in row]
+        str_rows.append(cells)
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = "+{}+".format(sep)
+    lines = [title, sep, _row(headers, widths), sep]
+    for cells in str_rows:
+        lines.append(_row(cells, widths))
+    lines.append(sep)
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if cell is None:
+        return "N/A"
+    if isinstance(cell, float):
+        return "{:.2f}".format(cell)
+    return str(cell)
+
+
+def _row(cells, widths):
+    body = "|".join(" {:<{w}} ".format(c, w=w)
+                    for c, w in zip(cells, widths))
+    return "|{}|".format(body)
+
+
+def comparison_rows(measured, paper, keys=None):
+    """Zip measured/paper dicts into (name, measured, paper) rows."""
+    keys = keys or list(paper)
+    return [(k, measured.get(k), paper.get(k)) for k in keys]
+
+
+def ratio(measured, paper):
+    """measured/paper as a printable string ('-' when undefined)."""
+    if not paper:
+        return "-"
+    return "{:.2f}x".format(measured / paper)

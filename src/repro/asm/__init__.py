@@ -1,0 +1,20 @@
+"""Assembler/disassembler toolchain for the AVR subset."""
+
+from repro.asm.assembler import Assembler, assemble, default_symbols
+from repro.asm.disassembler import disassemble, format_instr, listing
+from repro.asm.errors import AsmError, ExprError, SymbolError
+from repro.asm.program import Program, Reloc
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "default_symbols",
+    "disassemble",
+    "format_instr",
+    "listing",
+    "AsmError",
+    "ExprError",
+    "SymbolError",
+    "Program",
+    "Reloc",
+]

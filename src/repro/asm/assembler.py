@@ -1,0 +1,519 @@
+"""Two-pass AVR assembler.
+
+Accepts GNU-as-flavoured syntax for the instruction subset defined in
+:mod:`repro.isa`:
+
+* labels (``name:``), ``.equ``/``.set`` constants, ``.org``, ``.db``,
+  ``.dw``, ``.space``, ``.align`` directives;
+* expressions with symbols and ``lo8``/``hi8``/``pm_lo8``/``pm_hi8``;
+* all load/store addressing modes (``X+``, ``-Y``, ``Z+12`` ...);
+* the usual alias mnemonics (``clr``, ``lsl``, ``breq``, ``sei``,
+  ``ser``, ``cbr``, ``sbr``, ...).
+
+Pass 1 assigns addresses to labels; pass 2 encodes instructions and
+records relocations for symbol-referring operands so binary-rewriting
+tools can re-layout the code.
+"""
+
+import re
+
+from repro.asm import expr as expr_mod
+from repro.asm.errors import AsmError, SymbolError
+from repro.asm.program import Program, Reloc
+from repro.isa.encoding import encode
+from repro.isa.opcodes import (
+    BRANCH_ALIASES,
+    FLAG_ALIASES,
+    REG_ALIASES,
+    SPEC_BY_KEY,
+    SPEC_BY_MNEMONIC,
+    OperandKind,
+)
+from repro.isa.registers import ATMEGA103, IoReg
+
+_REG_NAMES = {"xl": 26, "xh": 27, "yl": 28, "yh": 29, "zl": 30, "zh": 31}
+_PTR_BASE = {"x": 26, "y": 28, "z": 30}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:")
+_SYMREF_RE = re.compile(
+    r"^([A-Za-z_.$][\w.$]*)\s*(?:([+-])\s*(\d+|0[xX][0-9a-fA-F]+))?$")
+_FUNCREF_RE = re.compile(
+    r"^(lo8|hi8|pm_lo8|pm_hi8)\(\s*([A-Za-z_.$][\w.$]*)\s*"
+    r"(?:([+-])\s*(\d+|0[xX][0-9a-fA-F]+))?\s*\)$")
+
+
+def default_symbols(geometry=ATMEGA103):
+    """Symbols every program gets for free: geometry and I/O addresses."""
+    return {
+        "RAMEND": geometry.ramend,
+        "SRAM_START": geometry.sram_start,
+        "FLASHEND": geometry.flash_bytes - 1,
+        "SPL": IoReg.SPL,
+        "SPH": IoReg.SPH,
+        "SREG": IoReg.SREG,
+    }
+
+
+class _Statement:
+    __slots__ = ("line_no", "labels", "op", "args", "text")
+
+    def __init__(self, line_no, labels, op, args, text):
+        self.line_no = line_no
+        self.labels = labels
+        self.op = op
+        self.args = args
+        self.text = text
+
+
+def _strip_comment(line):
+    out = []
+    in_str = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_str:
+            out.append(ch)
+            if ch == "\\" and i + 1 < len(line):
+                out.append(line[i + 1])
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+        elif ch in "'\"":
+            in_str = ch
+            out.append(ch)
+        elif ch == ";" or (ch == "/" and line[i:i + 2] == "//"):
+            break
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _split_args(text):
+    """Split an operand list on commas not inside quotes or parens."""
+    args = []
+    depth = 0
+    in_str = None
+    cur = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_str:
+            cur.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                cur.append(text[i + 1])
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+        elif ch in "'\"":
+            in_str = ch
+            cur.append(ch)
+        elif ch == "(":
+            depth += 1
+            cur.append(ch)
+        elif ch == ")":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            args.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+        i += 1
+    last = "".join(cur).strip()
+    if last:
+        args.append(last)
+    return args
+
+
+def parse_register(text):
+    """Parse a register operand; returns the register number or None."""
+    t = text.strip().lower()
+    if t in _REG_NAMES:
+        return _REG_NAMES[t]
+    m = re.match(r"^r(\d{1,2})$", t)
+    if m:
+        n = int(m.group(1))
+        if 0 <= n <= 31:
+            return n
+    return None
+
+
+def _parse_ptr_operand(text):
+    """Parse a pointer operand like ``X``, ``X+``, ``-Y``, ``Z+12``.
+
+    Returns ``(ptr, post_inc, pre_dec, disp)`` where disp is the
+    displacement expression text (None when absent), or None if the text
+    is not a pointer operand.
+    """
+    t = text.strip()
+    low = t.lower()
+    if low in _PTR_BASE:
+        return low.upper(), False, False, None
+    if len(low) == 2 and low[1] == "+" and low[0] in _PTR_BASE:
+        return low[0].upper(), True, False, None
+    if len(low) == 2 and low[0] == "-" and low[1] in _PTR_BASE:
+        return low[1].upper(), False, True, None
+    m = re.match(r"^([xyzXYZ])\s*\+\s*(.+)$", t)
+    if m:
+        return m.group(1).upper(), False, False, m.group(2)
+    return None
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, geometry=ATMEGA103, symbols=None):
+        self.geometry = geometry
+        self.predefined = default_symbols(geometry)
+        if symbols:
+            self.predefined.update(symbols)
+
+    # ------------------------------------------------------------------
+    def assemble(self, source, name="<asm>"):
+        statements = self._parse(source, name)
+        symbols = dict(self.predefined)
+        self._pass1(statements, symbols, name)
+        return self._pass2(statements, symbols, name)
+
+    # ------------------------------------------------------------------
+    def _parse(self, source, name):
+        statements = []
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            labels = []
+            while True:
+                m = _LABEL_RE.match(line)
+                if not m:
+                    break
+                labels.append(m.group(1))
+                line = line[m.end():].strip()
+            if not line and not labels:
+                continue
+            op = None
+            args = []
+            if line:
+                # `NAME = expr` constant definition
+                m = re.match(r"^([A-Za-z_.$][\w.$]*)\s*=\s*(.+)$", line)
+                if m and not line.startswith("."):
+                    op = ".equ"
+                    args = [m.group(1), m.group(2)]
+                else:
+                    parts = line.split(None, 1)
+                    op = parts[0].lower()
+                    args = _split_args(parts[1]) if len(parts) > 1 else []
+            statements.append(_Statement(line_no, labels, op, args, line))
+        return statements
+
+    # ------------------------------------------------------------------
+    def _size_of(self, st, name):
+        """Size in bytes of statement *st* (pass 1)."""
+        op = st.op
+        if op is None:
+            return 0
+        if op.startswith("."):
+            return self._directive_size(st, name)
+        key = self._resolve_key(st, name)
+        return SPEC_BY_KEY[key].size_bytes
+
+    def _directive_size(self, st, name):
+        op = st.op
+        if op in (".equ", ".set", ".org", ".global", ".globl", ".text",
+                  ".section", ".type", ".size"):
+            return 0
+        if op == ".db" or op == ".byte":
+            total = 0
+            for arg in st.args:
+                if arg.startswith('"'):
+                    total += len(self._string_bytes(arg, st, name))
+                else:
+                    total += 1
+            return total
+        if op == ".dw" or op == ".word":
+            return 2 * len(st.args)
+        if op in (".space", ".skip"):
+            return self._const_expr(st.args[0], st, name)
+        if op == ".align":
+            return -1  # variable; handled specially
+        raise AsmError("unknown directive {!r}".format(op), st.line_no, name)
+
+    def _string_bytes(self, arg, st, name):
+        if not (arg.startswith('"') and arg.endswith('"')):
+            raise AsmError("bad string literal {!r}".format(arg),
+                           st.line_no, name)
+        return arg[1:-1].encode().decode("unicode_escape").encode("latin-1")
+
+    def _const_expr(self, text, st, name, symbols=None):
+        try:
+            return expr_mod.evaluate(text, symbols or self.predefined)
+        except AsmError as exc:
+            raise AsmError(str(exc.message), st.line_no, name)
+
+    # ------------------------------------------------------------------
+    def _pass1(self, statements, symbols, name):
+        lc = 0  # location counter, flash byte address
+        for st in statements:
+            for label in st.labels:
+                if label in symbols:
+                    raise SymbolError("redefined symbol {!r}".format(label),
+                                      st.line_no, name)
+                symbols[label] = lc
+            if st.op is None:
+                continue
+            if st.op in (".equ", ".set"):
+                args = st.args
+                if len(args) == 1 and "=" in args[0]:
+                    lhs, _, rhs = args[0].partition("=")
+                    args = [lhs.strip(), rhs.strip()]
+                if len(args) != 2:
+                    raise AsmError(".equ takes NAME, VALUE", st.line_no, name)
+                symbols[args[0]] = self._const_expr(
+                    args[1], st, name, symbols)
+                continue
+            if st.op == ".org":
+                lc = self._const_expr(st.args[0], st, name, symbols)
+                continue
+            if st.op == ".align":
+                n = self._const_expr(st.args[0], st, name, symbols)
+                lc = (lc + n - 1) // n * n
+                continue
+            size = self._size_of(st, name)
+            if size and not st.op.startswith(".") and lc % 2:
+                raise AsmError("instruction at odd address 0x{:x}".format(lc),
+                               st.line_no, name)
+            lc += size
+
+    # ------------------------------------------------------------------
+    def _pass2(self, statements, symbols, name):
+        program = Program(source_name=name)
+        program.symbols = symbols
+        byte_image = {}
+        lc = 0
+
+        def emit_byte(value):
+            nonlocal lc
+            byte_image[lc] = value & 0xFF
+            lc += 1
+
+        for st in statements:
+            if st.op is None:
+                continue
+            if st.op in (".equ", ".set", ".global", ".globl", ".text",
+                         ".section", ".type", ".size"):
+                continue
+            if st.op == ".org":
+                lc = expr_mod.evaluate(st.args[0], symbols)
+                continue
+            if st.op == ".align":
+                n = expr_mod.evaluate(st.args[0], symbols)
+                while lc % n:
+                    emit_byte(0)
+                continue
+            if st.op in (".db", ".byte"):
+                for arg in st.args:
+                    if arg.startswith('"'):
+                        for b in self._string_bytes(arg, st, name):
+                            emit_byte(b)
+                    else:
+                        emit_byte(self._const_expr(arg, st, name, symbols))
+                continue
+            if st.op in (".dw", ".word"):
+                for arg in st.args:
+                    val = self._const_expr(arg, st, name, symbols)
+                    emit_byte(val & 0xFF)
+                    emit_byte((val >> 8) & 0xFF)
+                continue
+            if st.op in (".space", ".skip"):
+                n = self._const_expr(st.args[0], st, name, symbols)
+                fill = (self._const_expr(st.args[1], st, name, symbols)
+                        if len(st.args) > 1 else 0)
+                for _ in range(n):
+                    emit_byte(fill)
+                continue
+            # instruction
+            key = self._resolve_key(st, name)
+            operands = self._operand_values(st, key, lc, symbols, name,
+                                            program)
+            try:
+                words = encode(key, operands)
+            except ValueError as exc:
+                raise AsmError(str(exc), st.line_no, name)
+            program.listing[lc // 2] = st.line_no
+            for w in words:
+                emit_byte(w & 0xFF)
+                emit_byte(w >> 8)
+
+        # pack bytes into little-endian words
+        for addr, value in byte_image.items():
+            widx = addr // 2
+            word = program.words.get(widx, 0x0000)
+            if addr % 2:
+                word = (word & 0x00FF) | (value << 8)
+            else:
+                word = (word & 0xFF00) | value
+            program.words[widx] = word
+        return program
+
+    # ------------------------------------------------------------------
+    def _resolve_key(self, st, name):
+        """Map a source mnemonic + operand shapes to a unique spec key."""
+        op = st.op
+        args = st.args
+        err = lambda msg: AsmError(msg, st.line_no, name)
+
+        if op in BRANCH_ALIASES or op in FLAG_ALIASES:
+            return BRANCH_ALIASES.get(op, FLAG_ALIASES.get(op))[0]
+        if op in REG_ALIASES:
+            return REG_ALIASES[op]
+        if op in ("ser", "cbr", "sbr"):
+            return {"ser": "ldi", "cbr": "andi", "sbr": "ori"}[op]
+        if op in ("lpm", "elpm"):
+            if not args:
+                return op + "_r0"
+            ptr = _parse_ptr_operand(args[1]) if len(args) == 2 else None
+            if ptr and ptr[0] == "Z":
+                return op + ("_zp" if ptr[1] else "")
+            raise err("{} takes no operands or `Rd, Z[+]`".format(op))
+        if op in ("ld", "ldd"):
+            if len(args) != 2:
+                raise err("{} takes `Rd, <ptr>`".format(op))
+            ptr = _parse_ptr_operand(args[1])
+            if ptr is None:
+                raise err("bad pointer operand {!r}".format(args[1]))
+            return self._ldst_key(False, ptr, err)
+        if op in ("st", "std"):
+            if len(args) != 2:
+                raise err("{} takes `<ptr>, Rr`".format(op))
+            ptr = _parse_ptr_operand(args[0])
+            if ptr is None:
+                raise err("bad pointer operand {!r}".format(args[0]))
+            return self._ldst_key(True, ptr, err)
+        specs = SPEC_BY_MNEMONIC.get(op)
+        if not specs:
+            raise err("unknown mnemonic {!r}".format(op))
+        if len(specs) > 1:
+            raise err("ambiguous mnemonic {!r}".format(op))
+        return specs[0].key
+
+    @staticmethod
+    def _ldst_key(is_store, ptr, err):
+        base, post_inc, pre_dec, disp = ptr
+        side = "st" if is_store else "ld"
+        if disp is not None:
+            if base == "X":
+                raise err("X does not support displacement")
+            return "{}d_{}".format(side, base.lower())
+        if post_inc:
+            return "{}_{}p".format(side, base.lower())
+        if pre_dec:
+            return "{}_m{}".format(side, base.lower())
+        if base == "X":
+            return "{}_x".format(side)
+        # plain Y/Z are the q=0 displaced forms
+        return "{}d_{}".format(side, base.lower())
+
+    # ------------------------------------------------------------------
+    def _operand_values(self, st, key, lc, symbols, name, program):
+        spec = SPEC_BY_KEY[key]
+        op = st.op
+        args = list(st.args)
+        err = lambda msg: AsmError(msg, st.line_no, name)
+
+        # expand aliases to canonical operand lists
+        if op in BRANCH_ALIASES:
+            flag = BRANCH_ALIASES[op][1]
+            args = [str(flag)] + args
+        elif op in FLAG_ALIASES:
+            args = [str(FLAG_ALIASES[op][1])]
+        elif op in REG_ALIASES:
+            if len(args) != 1:
+                raise err("{} takes one register".format(op))
+            args = [args[0], args[0]]
+        elif op == "ser":
+            args = [args[0], "0xFF"]
+        elif op == "cbr":
+            val = expr_mod.evaluate(args[1], symbols)
+            args = [args[0], str((~val) & 0xFF)]
+        elif op in ("lpm", "elpm") and key in ("lpm", "lpm_zp", "elpm",
+                                               "elpm_zp"):
+            args = [args[0]]
+        elif op in ("ld", "ldd"):
+            ptr = _parse_ptr_operand(args[1])
+            args = [args[0]] + ([ptr[3]] if ptr[3] is not None else
+                                (["0"] if spec.modes.get("disp") else []))
+        elif op in ("st", "std"):
+            ptr = _parse_ptr_operand(args[0])
+            disp = ([ptr[3]] if ptr[3] is not None else
+                    (["0"] if spec.modes.get("disp") else []))
+            args = disp + [args[1]]
+
+        if len(args) != len(spec.operands):
+            raise err("{} takes {} operand(s), got {}".format(
+                spec.mnemonic, len(spec.operands), len(args)))
+
+        values = []
+        for slot, text in zip(spec.operands, args):
+            values.append(self._operand_value(slot, text, st, lc, symbols,
+                                              name, program, key))
+        return values
+
+    def _operand_value(self, slot, text, st, lc, symbols, name, program,
+                       key):
+        kind = slot.kind
+        err = lambda msg: AsmError(msg, st.line_no, name)
+        if kind in (OperandKind.REG, OperandKind.REG_HI, OperandKind.REG_PAIR,
+                    OperandKind.REG_PAIR_W):
+            reg = parse_register(text)
+            if reg is None:
+                raise err("expected register, got {!r}".format(text))
+            return reg
+        value = self._const_expr(text, st, name, symbols)
+        if kind in (OperandKind.REL7, OperandKind.REL12):
+            delta = value - (lc + 2)
+            if delta % 2:
+                raise err("branch target at odd byte offset")
+            self._record_symref(program, text, lc, kind.value)
+            return delta // 2
+        if kind is OperandKind.ADDR22:
+            if value % 2:
+                raise err("jump/call target at odd byte address")
+            self._record_symref(program, text, lc, "addr22")
+            return value // 2
+        if kind is OperandKind.ADDR16:
+            self._record_symref(program, text, lc, "addr16")
+            return value
+        if kind is OperandKind.IMM8:
+            self._record_symref(program, text, lc, "imm8")
+            return value & 0xFF if -256 < value < 256 else value
+        return value
+
+    @staticmethod
+    def _record_symref(program, text, lc, func):
+        text = text.strip()
+        m = _FUNCREF_RE.match(text)
+        if m:
+            addend = 0
+            if m.group(3):
+                addend = int(m.group(4), 0)
+                if m.group(3) == "-":
+                    addend = -addend
+            program.relocs.append(
+                Reloc(lc, m.group(1), m.group(2), addend))
+            return
+        m = _SYMREF_RE.match(text)
+        if m and parse_register(m.group(1)) is None:
+            name = m.group(1)
+            if name in program.symbols or not name[0].isdigit():
+                addend = 0
+                if m.group(2):
+                    addend = int(m.group(3), 0)
+                    if m.group(2) == "-":
+                        addend = -addend
+                program.relocs.append(Reloc(lc, func, name, addend))
+
+
+def assemble(source, name="<asm>", geometry=ATMEGA103, symbols=None):
+    """Convenience one-shot assembly of *source* into a Program."""
+    return Assembler(geometry, symbols).assemble(source, name)

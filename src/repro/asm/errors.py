@@ -1,0 +1,23 @@
+"""Assembler error types."""
+
+
+class AsmError(Exception):
+    """An error in assembly source, carrying the offending line number."""
+
+    def __init__(self, message, line=None, source_name=None):
+        self.message = message
+        self.line = line
+        self.source_name = source_name
+        where = ""
+        if source_name or line is not None:
+            where = " ({}:{})".format(source_name or "<asm>",
+                                      line if line is not None else "?")
+        super().__init__(message + where)
+
+
+class ExprError(AsmError):
+    """A malformed or unevaluable expression."""
+
+
+class SymbolError(AsmError):
+    """Reference to an undefined or redefined symbol."""

@@ -1,0 +1,167 @@
+"""Tiny expression evaluator for assembler operands.
+
+Supports integer literals (decimal, ``0x``, ``0b``, ``0o``, character
+literals), symbols, the usual arithmetic/bitwise operators with C-like
+precedence, parentheses, unary ``-``/``~``, and the AVR-toolchain byte
+extraction functions ``lo8``/``hi8`` (data addresses and 16-bit values)
+and ``pm_lo8``/``pm_hi8`` (program-memory *word* addresses, i.e. the
+byte address divided by two first).
+"""
+
+import re
+
+from repro.asm.errors import ExprError, SymbolError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|0[oO][0-7]+|\d+)"
+    r"|(?P<char>'(?:\\.|[^'\\])')"
+    r"|(?P<name>[A-Za-z_.$][A-Za-z0-9_.$]*)"
+    r"|(?P<op><<|>>|[-+*/%&|^~()!,])"
+    r")"
+)
+
+_FUNCS = {
+    "lo8": lambda v: v & 0xFF,
+    "hi8": lambda v: (v >> 8) & 0xFF,
+    "hh8": lambda v: (v >> 16) & 0xFF,
+    "pm_lo8": lambda v: (v >> 1) & 0xFF,
+    "pm_hi8": lambda v: (v >> 9) & 0xFF,
+    "pm": lambda v: v >> 1,
+}
+
+# binary operator -> (precedence, function); higher binds tighter
+_BINOPS = {
+    "|": (1, lambda a, b: a | b),
+    "^": (2, lambda a, b: a ^ b),
+    "&": (3, lambda a, b: a & b),
+    "<<": (4, lambda a, b: a << b),
+    ">>": (4, lambda a, b: a >> b),
+    "+": (5, lambda a, b: a + b),
+    "-": (5, lambda a, b: a - b),
+    "*": (6, lambda a, b: a * b),
+    "/": (6, lambda a, b: _div(a, b)),
+    "%": (6, lambda a, b: a % b),
+}
+
+
+def _div(a, b):
+    if b == 0:
+        raise ExprError("division by zero")
+    return a // b
+
+
+def tokenize(text):
+    """Split *text* into expression tokens; raises ExprError on junk."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ExprError("bad token near {!r}".format(rest[:10]))
+        pos = m.end()
+        if m.group("num"):
+            tokens.append(("num", int(m.group("num"), 0)))
+        elif m.group("char"):
+            body = m.group("char")[1:-1]
+            tokens.append(("num", ord(body.encode().decode(
+                "unicode_escape"))))
+        elif m.group("name"):
+            tokens.append(("name", m.group("name")))
+        else:
+            tokens.append(("op", m.group("op")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, symbols):
+        self.tokens = tokens
+        self.symbols = symbols
+        self.i = 0
+        self.used_symbols = set()
+
+    def peek(self):
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self):
+        tok = self.peek()
+        if tok is None:
+            raise ExprError("unexpected end of expression")
+        self.i += 1
+        return tok
+
+    def parse(self, min_prec=0):
+        value = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok is None or tok[0] != "op" or tok[1] not in _BINOPS:
+                return value
+            prec, fn = _BINOPS[tok[1]]
+            if prec < min_prec:
+                return value
+            self.next()
+            rhs = self.parse(prec + 1)
+            value = fn(value, rhs)
+
+    def parse_unary(self):
+        tok = self.next()
+        if tok == ("op", "-"):
+            return -self.parse_unary()
+        if tok == ("op", "~"):
+            return ~self.parse_unary()
+        if tok == ("op", "+"):
+            return self.parse_unary()
+        if tok == ("op", "("):
+            value = self.parse()
+            self.expect(")")
+            return value
+        if tok[0] == "num":
+            return tok[1]
+        if tok[0] == "name":
+            name = tok[1]
+            if name in _FUNCS and self.peek() == ("op", "("):
+                self.next()
+                value = self.parse()
+                self.expect(")")
+                return _FUNCS[name](value)
+            if name not in self.symbols:
+                raise SymbolError("undefined symbol {!r}".format(name))
+            self.used_symbols.add(name)
+            return self.symbols[name]
+        raise ExprError("unexpected token {!r}".format(tok[1]))
+
+    def expect(self, op):
+        tok = self.next()
+        if tok != ("op", op):
+            raise ExprError("expected {!r}".format(op))
+
+
+def evaluate(text, symbols=None):
+    """Evaluate expression *text* against the *symbols* mapping."""
+    parser = _Parser(tokenize(text), symbols or {})
+    value = parser.parse()
+    if parser.peek() is not None:
+        raise ExprError("trailing junk in expression {!r}".format(text))
+    return value
+
+
+def evaluate_with_refs(text, symbols=None):
+    """Like :func:`evaluate` but also returns the set of symbols used."""
+    parser = _Parser(tokenize(text), symbols or {})
+    value = parser.parse()
+    if parser.peek() is not None:
+        raise ExprError("trailing junk in expression {!r}".format(text))
+    return value, parser.used_symbols
+
+
+def references(text):
+    """Return the symbol names referenced by expression *text* without
+    evaluating it (used by pass 1 to detect forward references)."""
+    names = set()
+    for kind, val in tokenize(text):
+        if kind == "name" and val not in _FUNCS:
+            names.add(val)
+    return names

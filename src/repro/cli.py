@@ -1,0 +1,225 @@
+"""Command-line tools for the Harbor toolchain.
+
+Installed as console scripts (see ``pyproject.toml``):
+
+* ``harbor-asm SOURCE [-o OUT.hex] [--listing]`` — assemble AVR source
+  to a flash image (simple hex word dump) and/or a listing.
+* ``harbor-disasm IMAGE.hex`` — disassemble an image.
+* ``harbor-rewrite SOURCE --export NAME [...]`` — run the binary
+  rewriter and print the sandboxed listing + statistics.
+* ``harbor-verify SOURCE`` — run the on-node verifier over an image and
+  report accept/reject.
+* ``harbor-run SOURCE --entry LABEL`` — execute a program on the
+  simulator (plain, or with UMPU protection via ``--umpu``).
+
+The image format is deliberately trivial: one ``ADDR: WORD`` hex pair
+per line (word addresses), so images are diffable and editable.
+"""
+
+import argparse
+import sys
+
+from repro.asm import AsmError, Assembler, assemble, listing
+from repro.asm.disassembler import disassemble
+from repro.asm.program import Program
+from repro.core.faults import ProtectionFault
+from repro.sfi.layout import SfiLayout
+from repro.sfi.inline import InlineRewriter, TemplateVerifier
+from repro.sfi.rewriter import RewriteError, Rewriter
+from repro.sfi.runtime_asm import build_runtime
+from repro.sfi.verifier import Verifier, VerifyError
+from repro.sim import Machine
+from repro.umpu import HarborLayout, UmpuMachine
+
+
+def _read_source(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_image(path):
+    program = Program(source_name=path)
+    with open(path) as handle:
+        for line in handle:
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            addr, _, word = line.partition(":")
+            program.set_word(int(addr, 16), int(word, 16))
+    return program
+
+
+def _dump_image(program, out):
+    for word_addr in sorted(program.words):
+        out.write("{:05x}: {:04x}\n".format(word_addr,
+                                            program.words[word_addr]))
+
+
+def _assemble_arg(path):
+    if path.endswith(".hex"):
+        return _load_image(path)
+    return assemble(_read_source(path), name=path)
+
+
+# ---------------------------------------------------------------------
+def cmd_asm(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-asm", description="assemble AVR source")
+    parser.add_argument("source")
+    parser.add_argument("-o", "--output", help="write hex image here")
+    parser.add_argument("--listing", action="store_true",
+                        help="print a disassembly listing")
+    args = parser.parse_args(argv)
+    try:
+        program = assemble(_read_source(args.source), name=args.source)
+    except AsmError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as out:
+            _dump_image(program, out)
+    if args.listing or not args.output:
+        print(listing(program))
+    print("; {} bytes of code, {} symbols".format(
+        program.code_bytes, len(program.symbols)), file=sys.stderr)
+    return 0
+
+
+def cmd_disasm(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-disasm", description="disassemble a flash image")
+    parser.add_argument("image", help=".hex image or .s source")
+    args = parser.parse_args(argv)
+    program = _assemble_arg(args.image)
+    print(listing(program))
+    return 0
+
+
+def cmd_rewrite(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-rewrite",
+        description="sandbox a module with the binary rewriter")
+    parser.add_argument("source")
+    parser.add_argument("--export", action="append", default=[],
+                        help="exported function (repeatable)")
+    parser.add_argument("--origin", type=lambda v: int(v, 0), default=None,
+                        help="load address (default: after jump tables)")
+    parser.add_argument("--inline", action="store_true",
+                        help="inline the check templates instead of "
+                             "calling the runtime stubs")
+    parser.add_argument("-o", "--output", help="write hex image here")
+    args = parser.parse_args(argv)
+    layout = SfiLayout()
+    runtime = build_runtime(layout)
+    rewriter_cls = InlineRewriter if args.inline else Rewriter
+    rewriter = rewriter_cls(runtime.symbols, layout)
+    module = _assemble_arg(args.source)
+    origin = args.origin if args.origin is not None else layout.jt_end
+    try:
+        result = rewriter.rewrite(module, origin, exports=args.export)
+    except RewriteError as exc:
+        print("rewrite error: {}".format(exc), file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as out:
+            _dump_image(result.program, out)
+    else:
+        print(listing(result.program))
+    stats = result.stats
+    print("; {} -> {} bytes; stores={} xcalls={} prologues={} rets={}"
+          .format(stats["size_in"], stats["size_out"], stats["stores"],
+                  stats["cross_calls"], stats["prologues"],
+                  stats["rets"]), file=sys.stderr)
+    for name, addr in sorted(result.exports.items()):
+        print("; export {} at 0x{:04x}".format(name, addr),
+              file=sys.stderr)
+    return 0
+
+
+def cmd_verify(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-verify",
+        description="run the on-node verifier over a module image")
+    parser.add_argument("image", help=".hex image or .s source")
+    parser.add_argument("--allow-io", action="append", default=[],
+                        type=lambda v: int(v, 0),
+                        help="whitelisted I/O address (repeatable)")
+    parser.add_argument("--inline", action="store_true",
+                        help="use the template verifier (accepts "
+                             "inline-checked binaries)")
+    args = parser.parse_args(argv)
+    layout = SfiLayout()
+    runtime = build_runtime(layout)
+    verifier_cls = TemplateVerifier if args.inline else Verifier
+    verifier = verifier_cls(runtime.symbols, layout,
+                            allowed_io=tuple(args.allow_io))
+    program = _assemble_arg(args.image)
+    lo, hi = program.extent()
+    try:
+        report = verifier.verify(program, lo * 2, (hi + 1) * 2)
+    except VerifyError as exc:
+        print("REJECTED: {}".format(exc))
+        return 1
+    print("ACCEPTED: {} instructions, {} runtime calls, {} internal "
+          "calls, {} rets".format(report.instructions,
+                                  report.calls_to_runtime,
+                                  report.internal_calls, report.rets))
+    return 0
+
+
+def cmd_run(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-run", description="run a program on the simulator")
+    parser.add_argument("source")
+    parser.add_argument("--entry", default=None,
+                        help="label to call (default: run from reset)")
+    parser.add_argument("--umpu", action="store_true",
+                        help="enable the UMPU protection units")
+    parser.add_argument("--domain", type=int, default=None,
+                        help="run as this protection domain (with --umpu)")
+    parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    parser.add_argument("--dump", action="append", default=[],
+                        help="ADDR[:LEN] memory ranges to print after")
+    args = parser.parse_args(argv)
+    program = _assemble_arg(args.source)
+    if args.umpu:
+        machine = UmpuMachine(program, layout=HarborLayout())
+        if args.domain is not None:
+            machine.enter_domain(args.domain)
+    else:
+        machine = Machine(program)
+    try:
+        if args.entry:
+            cycles = machine.call(args.entry, max_cycles=args.max_cycles)
+        else:
+            cycles = machine.run(max_cycles=args.max_cycles)
+    except ProtectionFault as exc:
+        print("protection fault: {}".format(exc))
+        return 2
+    print("halted after {} cycles; r24:25 = 0x{:04x}".format(
+        cycles, machine.result16()))
+    for spec in args.dump:
+        addr_text, _, len_text = spec.partition(":")
+        addr = int(addr_text, 0)
+        length = int(len_text, 0) if len_text else 16
+        data = machine.read_bytes(addr, length)
+        print("0x{:04x}: {}".format(
+            addr, " ".join("{:02x}".format(b) for b in data)))
+    return 0
+
+
+def main(argv=None):
+    """Multiplexer: ``python -m repro.cli <tool> ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    tools = {"asm": cmd_asm, "disasm": cmd_disasm,
+             "rewrite": cmd_rewrite, "verify": cmd_verify,
+             "run": cmd_run}
+    if not argv or argv[0] not in tools:
+        print("usage: python -m repro.cli {asm|disasm|rewrite|verify|run}"
+              " ...", file=sys.stderr)
+        return 64
+    return tools[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Harbor protection core: the paper's primary contribution.
+
+Memory map (§2), control-flow manager / cross-domain calls (§3), safe
+stack (§3.4), stack-bound protection (§3.3), the protected dynamic
+memory library (§2.4) and the golden-model write checker, plus the
+:class:`HarborSystem` facade assembling them.
+"""
+
+from repro.core.checker import CheckContext, WriteChecker
+from repro.core.control_flow import (
+    CrossDomainManager,
+    DomainContext,
+    JumpTable,
+    JT_ENTRIES_PER_DOMAIN,
+    JT_ENTRY_BYTES,
+)
+from repro.core.domains import Domain, DomainSet
+from repro.core.encoding import (
+    BlockPermission,
+    MultiDomainEncoding,
+    TRUSTED_DOMAIN,
+    TwoDomainEncoding,
+    encoding_for,
+)
+from repro.core.faults import (
+    ConfigFault,
+    JumpTableFault,
+    MemMapFault,
+    OwnershipFault,
+    ProtectionFault,
+    SafeStackOverflow,
+    SafeStackUnderflow,
+    StackBoundFault,
+    UntrustedAccessFault,
+)
+from repro.core.harbor import HarborSystem
+from repro.core.heap import HarborHeap, HeapError
+from repro.core.memmap import (
+    BufferStorage,
+    MemMapConfig,
+    MemoryBackedStorage,
+    MemoryMap,
+    Translation,
+)
+from repro.core.safe_stack import (
+    CROSS_DOMAIN_FRAME_BYTES,
+    CrossDomainFrame,
+    SafeStack,
+)
+
+__all__ = [
+    "CheckContext",
+    "WriteChecker",
+    "CrossDomainManager",
+    "DomainContext",
+    "JumpTable",
+    "JT_ENTRIES_PER_DOMAIN",
+    "JT_ENTRY_BYTES",
+    "Domain",
+    "DomainSet",
+    "BlockPermission",
+    "MultiDomainEncoding",
+    "TRUSTED_DOMAIN",
+    "TwoDomainEncoding",
+    "encoding_for",
+    "ConfigFault",
+    "JumpTableFault",
+    "MemMapFault",
+    "OwnershipFault",
+    "ProtectionFault",
+    "SafeStackOverflow",
+    "SafeStackUnderflow",
+    "StackBoundFault",
+    "UntrustedAccessFault",
+    "HarborSystem",
+    "HarborHeap",
+    "HeapError",
+    "BufferStorage",
+    "MemMapConfig",
+    "MemoryBackedStorage",
+    "MemoryMap",
+    "Translation",
+    "CROSS_DOMAIN_FRAME_BYTES",
+    "CrossDomainFrame",
+    "SafeStack",
+]

@@ -1,0 +1,75 @@
+"""Golden-model write checker: the complete Harbor store-permission rule.
+
+This is the reference the hardware MMC and the software runtime checker
+are both tested against.  The rule, assembled from paper §2 (memory
+map), §3.3 (run-time stack protection) and §3.4 (safe stack placement):
+
+1. The trusted domain may write anywhere.
+2. A write above ``stack_bound`` would corrupt a caller domain's stack
+   frames → :class:`StackBoundFault`.
+3. A write inside the memory-map-protected region must target a block
+   owned by the writing domain → :class:`MemMapFault` otherwise.
+4. A write between the protected region and the stack bound is the
+   module's own run-time stack window → allowed.
+5. Anything else (register file, I/O space, trusted globals below the
+   protected region) → :class:`UntrustedAccessFault`.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import StackBoundFault, UntrustedAccessFault
+
+
+@dataclass
+class CheckContext:
+    """Mutable protection state the checker consults.
+
+    Mirrors the UMPU register file: current domain, stack bound, plus
+    the memory map.  The control-flow manager updates ``cur_domain`` and
+    ``stack_bound`` on cross-domain calls/returns.
+    """
+
+    memmap: object
+    cur_domain: int = TRUSTED_DOMAIN
+    stack_bound: int = 0xFFFF
+
+
+class WriteChecker:
+    """Checks stores against a :class:`CheckContext`."""
+
+    def __init__(self, context):
+        self.context = context
+
+    def check(self, addr, domain=None):
+        """Validate a store to *addr* by *domain* (default: current).
+
+        Raises a :class:`~repro.core.faults.ProtectionFault` subclass on
+        violation; returns the applicable rule name on success (handy
+        for tests and traces).
+        """
+        ctx = self.context
+        if domain is None:
+            domain = ctx.cur_domain
+        if domain == TRUSTED_DOMAIN:
+            return "trusted"
+        if addr > ctx.stack_bound:
+            raise StackBoundFault(addr, domain, ctx.stack_bound)
+        cfg = ctx.memmap.config
+        if cfg.contains(addr):
+            ctx.memmap.check_write(addr, domain)
+            return "memmap"
+        if addr > cfg.prot_top:
+            # between the protected region and the stack bound: the
+            # module's own stack window
+            return "stack"
+        raise UntrustedAccessFault(addr, domain)
+
+    def allowed(self, addr, domain=None):
+        """Boolean form of :meth:`check` (no exception)."""
+        from repro.core.faults import ProtectionFault
+        try:
+            self.check(addr, domain)
+            return True
+        except ProtectionFault:
+            return False

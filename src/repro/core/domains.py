@@ -1,0 +1,78 @@
+"""Protection domains (paper §2.1).
+
+A protection domain is a *fragmented but logically distinct* portion of
+the data address space; every module's state lives in its own domain.
+There is exactly one trusted domain (the kernel), allowed to access all
+memory; user domains may only write blocks the memory map assigns to
+them.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.encoding import TRUSTED_DOMAIN
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One protection domain."""
+
+    did: int
+    name: str = ""
+
+    @property
+    def trusted(self):
+        return self.did == TRUSTED_DOMAIN
+
+    def __str__(self):
+        label = self.name or ("trusted" if self.trusted
+                              else "domain{}".format(self.did))
+        return "{}(id={})".format(label, self.did)
+
+
+@dataclass
+class DomainSet:
+    """The set of domains configured on a node.
+
+    ``max_user_domains`` comes from the protection mode: 7 under
+    multi-domain (4-bit) encoding, 1 under two-domain (2-bit) encoding.
+    """
+
+    max_user_domains: int = 7
+    _domains: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._domains[TRUSTED_DOMAIN] = Domain(TRUSTED_DOMAIN, "trusted")
+
+    @property
+    def trusted(self):
+        return self._domains[TRUSTED_DOMAIN]
+
+    def create(self, name=""):
+        """Allocate the next free user domain id."""
+        for did in range(self.max_user_domains):
+            if did not in self._domains:
+                domain = Domain(did, name or "domain{}".format(did))
+                self._domains[did] = domain
+                return domain
+        raise ValueError("no free protection domains "
+                         "(max {})".format(self.max_user_domains))
+
+    def destroy(self, did):
+        if did == TRUSTED_DOMAIN:
+            raise ValueError("cannot destroy the trusted domain")
+        del self._domains[did]
+
+    def get(self, did):
+        return self._domains[did]
+
+    def __contains__(self, did):
+        return did in self._domains
+
+    def __iter__(self):
+        return iter(sorted(self._domains.values(), key=lambda d: d.did))
+
+    def __len__(self):
+        return len(self._domains)
+
+    def user_domains(self):
+        return [d for d in self if not d.trusted]

@@ -1,0 +1,122 @@
+"""Memory-map permission encodings (paper Table `mmap_table`).
+
+Multi-domain protection packs one 4-bit code per block::
+
+    1111  Free, or start of trusted segment
+    1110  Later portion of trusted segment
+    xxx1  Start of domain (0-6) segment
+    xxx0  Later portion of domain (0-6) segment
+
+The three ``x`` bits carry the owning domain id (0-6); the pattern 111
+is reserved for the trusted domain, which is also the owner of free
+memory (so modules can never write unallocated blocks).  Note the
+deliberate overlap: *free* and *start of trusted segment* share code
+1111 — distinguishing them is the heap free list's job, not the memory
+map's (the map answers "may domain D write this block?", and the answer
+for both free and trusted blocks is "only if D is trusted").
+
+Two-domain protection (one user domain vs the trusted kernel) needs
+only 2 bits per block, halving the table — this is where the paper's
+"70 bytes (1.7%)" figure comes from::
+
+    11  Free, or start of trusted segment
+    10  Later portion of trusted segment
+    01  Start of user segment
+    00  Later portion of user segment
+"""
+
+from dataclasses import dataclass
+
+#: Domain id of the single trusted domain (the SOS kernel).  In the
+#: multi-domain encoding the three owner bits 111 name it.
+TRUSTED_DOMAIN = 7
+
+#: User domains available under multi-domain protection (ids 0..6).
+MAX_USER_DOMAINS_MULTI = 7
+
+#: User domains available under two-domain protection (id 0 only).
+MAX_USER_DOMAINS_TWO = 1
+
+
+@dataclass(frozen=True)
+class BlockPermission:
+    """Decoded permission entry of one block."""
+
+    owner: int      # domain id; TRUSTED_DOMAIN for trusted/free blocks
+    is_start: bool  # first block of a logical segment (or free)
+
+    def __str__(self):
+        owner = "T" if self.owner == TRUSTED_DOMAIN else str(self.owner)
+        return "{}{}".format(owner, "s" if self.is_start else "-")
+
+
+class MultiDomainEncoding:
+    """4-bit entries, up to 7 user domains + trusted (Table 1)."""
+
+    bits_per_entry = 4
+    max_user_domains = MAX_USER_DOMAINS_MULTI
+
+    #: Code meanings, printable (reproduces paper Table 1).
+    TABLE = (
+        ("1111", "Free or Start of Trusted Segment"),
+        ("1110", "Later portion of Trusted Segment"),
+        ("xxx1", "Start of Domain (0 - 6) Segment"),
+        ("xxx0", "Later portion of Domain (0 - 6) Segment"),
+    )
+
+    FREE_CODE = 0b1111
+
+    def encode(self, owner, is_start):
+        if not 0 <= owner <= TRUSTED_DOMAIN:
+            raise ValueError("bad domain id {}".format(owner))
+        return ((owner & 0x7) << 1) | (1 if is_start else 0)
+
+    def decode(self, code):
+        return BlockPermission(owner=(code >> 1) & 0x7,
+                               is_start=bool(code & 1))
+
+    @property
+    def free(self):
+        """Code for a free block (same as trusted-segment start)."""
+        return self.FREE_CODE
+
+
+class TwoDomainEncoding:
+    """2-bit entries: one user domain vs trusted (halved memory map)."""
+
+    bits_per_entry = 2
+    max_user_domains = MAX_USER_DOMAINS_TWO
+
+    TABLE = (
+        ("11", "Free or Start of Trusted Segment"),
+        ("10", "Later portion of Trusted Segment"),
+        ("01", "Start of User Segment"),
+        ("00", "Later portion of User Segment"),
+    )
+
+    FREE_CODE = 0b11
+
+    def encode(self, owner, is_start):
+        if owner not in (0, TRUSTED_DOMAIN):
+            raise ValueError(
+                "two-domain encoding supports domains 0 and trusted only, "
+                "got {}".format(owner))
+        trusted_bit = 1 if owner == TRUSTED_DOMAIN else 0
+        return (trusted_bit << 1) | (1 if is_start else 0)
+
+    def decode(self, code):
+        owner = TRUSTED_DOMAIN if code & 0b10 else 0
+        return BlockPermission(owner=owner, is_start=bool(code & 1))
+
+    @property
+    def free(self):
+        return self.FREE_CODE
+
+
+def encoding_for(mode):
+    """Return the encoding object for *mode* (``"multi"`` or ``"two"``)."""
+    if mode == "multi":
+        return MultiDomainEncoding()
+    if mode == "two":
+        return TwoDomainEncoding()
+    raise ValueError("unknown protection mode {!r}".format(mode))

@@ -1,0 +1,106 @@
+"""Protection fault hierarchy.
+
+Every violation Harbor can detect raises a distinct fault type.  On real
+hardware these are the exceptions the MMC / domain tracker signal; in
+the software-only system they are raised by the run-time check routines.
+The simulator propagates them out of :meth:`Machine.run` (tests) or into
+the kernel panic handler (OS integration), mirroring the paper's
+"signal the invalid access" behaviour.
+"""
+
+
+class ProtectionFault(Exception):
+    """Base class for all Harbor protection violations."""
+
+    def __init__(self, message, domain=None, addr=None):
+        self.domain = domain
+        self.addr = addr
+        detail = []
+        if domain is not None:
+            detail.append("domain={}".format(domain))
+        if addr is not None:
+            detail.append("addr=0x{:04x}".format(addr))
+        if detail:
+            message = "{} ({})".format(message, ", ".join(detail))
+        super().__init__(message)
+
+
+class MemMapFault(ProtectionFault):
+    """A store targeted a block owned by a different domain."""
+
+    def __init__(self, addr, domain, owner):
+        self.owner = owner
+        super().__init__(
+            "illegal store into block owned by domain {}".format(owner),
+            domain=domain, addr=addr)
+
+
+class StackBoundFault(ProtectionFault):
+    """A store targeted the run-time stack above the current stack bound
+    (i.e. the caller domains' stack frames)."""
+
+    def __init__(self, addr, domain, stack_bound):
+        self.stack_bound = stack_bound
+        super().__init__(
+            "store above stack bound 0x{:04x}".format(stack_bound),
+            domain=domain, addr=addr)
+
+
+class UntrustedAccessFault(ProtectionFault):
+    """A store by an untrusted domain targeted memory outside both the
+    memory-map-protected region and its stack window (I/O registers,
+    trusted globals, the register file)."""
+
+    def __init__(self, addr, domain):
+        super().__init__("store outside protected region and stack window",
+                         domain=domain, addr=addr)
+
+
+class JumpTableFault(ProtectionFault):
+    """A cross-domain control transfer did not target a valid jump-table
+    entry (bad base, bad domain index, or an empty slot)."""
+
+    def __init__(self, target, domain=None, reason="not a jump table entry"):
+        self.target = target
+        super().__init__(
+            "invalid cross-domain transfer to 0x{:05x}: {}".format(
+                target, reason),
+            domain=domain)
+
+
+class SafeStackOverflow(ProtectionFault):
+    """The safe stack grew into the run-time stack (or its limit)."""
+
+    def __init__(self, ptr, limit):
+        self.ptr = ptr
+        self.limit = limit
+        super().__init__(
+            "safe stack overflow: ptr 0x{:04x} reached limit 0x{:04x}"
+            .format(ptr, limit))
+
+
+class SafeStackUnderflow(ProtectionFault):
+    """A cross-domain return with no matching cross-domain call."""
+
+    def __init__(self):
+        super().__init__("safe stack underflow: unmatched return")
+
+
+class OwnershipFault(ProtectionFault):
+    """free()/change_own() attempted by a domain that does not own the
+    segment (prevents hijacking or freeing foreign memory)."""
+
+    def __init__(self, addr, domain, owner, operation):
+        self.owner = owner
+        self.operation = operation
+        super().__init__(
+            "{} of segment owned by domain {}".format(operation, owner),
+            domain=domain, addr=addr)
+
+
+class ConfigFault(ProtectionFault):
+    """An untrusted domain attempted to reprogram protection state
+    (memory-map configuration registers, safe stack pointer, ...)."""
+
+    def __init__(self, what, domain=None):
+        super().__init__("untrusted write to {}".format(what), domain=domain)

@@ -1,0 +1,148 @@
+"""Harbor system facade: assemble all protection components (golden model).
+
+:class:`HarborSystem` wires together domains, memory map, heap, safe
+stack, jump table and the write checker over one address space, and
+offers the module-eye view used by the SOS substrate, the examples and
+the property tests: allocate memory, write through the checker, make
+cross-domain calls.
+
+This is the *behavioural* system — no instruction simulation.  The two
+cycle-accurate systems built from the same techniques are
+:mod:`repro.sfi` (binary rewriting) and :mod:`repro.umpu` (hardware
+extensions); both are differentially tested against this model.
+"""
+
+from contextlib import contextmanager
+
+from repro.core.checker import CheckContext, WriteChecker
+from repro.core.control_flow import (
+    CrossDomainManager,
+    JumpTable,
+)
+from repro.core.domains import DomainSet
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.heap import HarborHeap
+from repro.core.memmap import MemMapConfig, MemoryMap
+from repro.core.safe_stack import SafeStack
+from repro.isa.registers import ATMEGA103
+
+
+class HarborSystem:
+    """A protected node: domains + memory map + heap + control flow.
+
+    Default layout over the ATmega103's 4 KiB data space (matching the
+    paper's configuration: 8-byte blocks, multi-domain 4-bit encoding):
+
+    * trusted globals + memory map table below ``heap_start``;
+    * the heap (memory-map protected) in the middle;
+    * the safe stack just above the heap, growing up;
+    * the run-time stack at RAMEND, growing down.
+    """
+
+    def __init__(self, geometry=ATMEGA103, block_size=8, mode="multi",
+                 heap_start=0x0200, heap_end=0x0C00,
+                 safe_stack_bytes=0x100, jt_base=0x1000, ndomains=8):
+        self.geometry = geometry
+        span = geometry.data_end + 1
+        # protect everything from the heap up to the safe stack's end;
+        # the region must be block aligned
+        prot_bottom = heap_start
+        prot_top = heap_end + safe_stack_bytes - 1
+        self.memmap = MemoryMap(MemMapConfig(
+            prot_bottom=prot_bottom, prot_top=prot_top,
+            block_size=block_size, mode=mode))
+        self.domains = DomainSet(
+            max_user_domains=self.memmap.encoding.max_user_domains)
+        self.heap = HarborHeap(self.memmap, heap_start, heap_end)
+        self.safe_stack = SafeStack(heap_end, heap_end + safe_stack_bytes)
+        # the safe stack region belongs to the trusted domain: mark it a
+        # trusted segment so no user domain can scribble on it
+        self.memmap.set_segment(heap_end, safe_stack_bytes, TRUSTED_DOMAIN)
+        self.jump_table = JumpTable(base=jt_base, ndomains=ndomains)
+        self.control = CrossDomainManager(
+            self.jump_table, self.safe_stack,
+            initial_domain=TRUSTED_DOMAIN,
+            initial_stack_bound=geometry.ramend)
+        self.context = CheckContext(self.memmap,
+                                    cur_domain=TRUSTED_DOMAIN,
+                                    stack_bound=geometry.ramend)
+        self.checker = WriteChecker(self.context)
+        #: data memory image for behavioural stores
+        self.data = bytearray(span)
+        self.sp = geometry.ramend
+
+    # --- domain management ----------------------------------------------
+    @property
+    def cur_domain(self):
+        return self.control.cur_domain
+
+    def create_domain(self, name=""):
+        return self.domains.create(name)
+
+    @contextmanager
+    def as_domain(self, domain):
+        """Execute behavioural operations as *domain* (test/kernel aid).
+
+        This models the kernel dispatching into a module without a full
+        cross-domain call (no stack-bound change).
+        """
+        did = getattr(domain, "did", domain)
+        prev_ctl, prev_ctx = self.control.cur_domain, self.context.cur_domain
+        self.control.cur_domain = did
+        self.context.cur_domain = did
+        try:
+            yield
+        finally:
+            self.control.cur_domain = prev_ctl
+            self.context.cur_domain = prev_ctx
+
+    # --- memory operations -----------------------------------------------
+    def _did(self, domain):
+        if domain is None:
+            return self.cur_domain
+        return getattr(domain, "did", domain)
+
+    def malloc(self, nbytes, domain=None):
+        return self.heap.malloc(nbytes, self._did(domain))
+
+    def free(self, addr, domain=None):
+        return self.heap.free(addr, self._did(domain))
+
+    def change_own(self, addr, new_domain, domain=None):
+        return self.heap.change_own(addr, self._did(new_domain),
+                                    self._did(domain))
+
+    def store(self, addr, value, domain=None):
+        """A checked behavioural store (what a module's ``st`` does)."""
+        self._sync_context()
+        self.checker.check(addr, self._did(domain))
+        self.data[addr] = value & 0xFF
+
+    def store_unchecked(self, addr, value):
+        """An unprotected store — what happens *without* Harbor."""
+        self.data[addr] = value & 0xFF
+
+    def load(self, addr):
+        return self.data[addr]
+
+    def _sync_context(self):
+        self.context.cur_domain = self.control.cur_domain
+        self.context.stack_bound = self.control.stack_bound
+
+    # --- cross-domain calls ---------------------------------------------------
+    def cross_domain_call(self, target_byte_addr, ret_word_addr=0):
+        """Protection side of calling a jump-table entry."""
+        callee = self.control.cross_domain_call(target_byte_addr,
+                                                ret_word_addr, self.sp)
+        self._sync_context()
+        return callee
+
+    def cross_domain_return(self):
+        frame = self.control.on_return()
+        self._sync_context()
+        return frame
+
+    # --- reporting ----------------------------------------------------------------
+    def domain_layout(self):
+        """``(start, nblocks, owner)`` segments — Figure 2's picture."""
+        return self.memmap.segments()

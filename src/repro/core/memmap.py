@@ -1,0 +1,294 @@
+"""The Memory Map: block-granular ownership/layout table (paper §2).
+
+The address space between ``prot_bottom`` and ``prot_top`` is divided
+into fixed-size *blocks*; contiguous runs of blocks form *segments*
+allocated to protection domains.  The memory map stores one permission
+entry per block, packed (two 4-bit entries per byte in multi-domain
+mode, four 2-bit entries per byte in two-domain mode).
+
+Address translation (paper Figure "Addr Translate"): for a write
+address *a*,
+
+1. ``offset  = a - prot_bottom``
+2. ``block   = offset >> log2(block_size)``
+3. ``byte    = block >> entries_per_byte_log2`` indexes the table
+4. the remaining low bits of ``block`` select the entry inside the byte
+
+The table itself can live anywhere: in a plain Python buffer (golden
+model) or inside simulated SRAM (the UMPU MMC and the software runtime
+both read the very bytes in the machine's memory), via the storage
+protocol below.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.encoding import TRUSTED_DOMAIN, encoding_for
+from repro.core.faults import MemMapFault
+
+
+def _log2(n):
+    if n <= 0 or n & (n - 1):
+        raise ValueError("{} is not a power of two".format(n))
+    return n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of translating a data address to a memory-map location."""
+
+    offset: int       # address - prot_bottom
+    block: int        # block number within the protected region
+    byte_index: int   # byte offset into the table
+    entry_index: int  # which entry within that byte (0 = low bits)
+    shift: int        # bit shift of the entry within the byte
+
+
+@dataclass(frozen=True)
+class MemMapConfig:
+    """Geometry of the protected region and the table encoding.
+
+    ``block_size`` and the protection mode are what the paper's
+    ``mem_map_config`` register programs; ``prot_bottom``/``prot_top``
+    are the protected-address-space bounds registers.
+    """
+
+    prot_bottom: int
+    prot_top: int          # inclusive
+    block_size: int = 8
+    mode: str = "multi"    # "multi" (4-bit) or "two" (2-bit)
+
+    def __post_init__(self):
+        _log2(self.block_size)
+        span = self.prot_top - self.prot_bottom + 1
+        if span <= 0:
+            raise ValueError("empty protected region")
+        if span % self.block_size:
+            raise ValueError(
+                "protected region size {} not a multiple of block size {}"
+                .format(span, self.block_size))
+
+    @property
+    def encoding(self):
+        return encoding_for(self.mode)
+
+    @property
+    def nblocks(self):
+        return (self.prot_top - self.prot_bottom + 1) // self.block_size
+
+    @property
+    def entries_per_byte(self):
+        return 8 // self.encoding.bits_per_entry
+
+    @property
+    def table_bytes(self):
+        """Bytes of RAM the memory map occupies (paper §5.2 sizing)."""
+        per = self.entries_per_byte
+        return (self.nblocks + per - 1) // per
+
+    def contains(self, addr):
+        return self.prot_bottom <= addr <= self.prot_top
+
+    def block_of(self, addr):
+        if not self.contains(addr):
+            raise ValueError("address 0x{:04x} outside protected region"
+                             .format(addr))
+        return (addr - self.prot_bottom) >> _log2(self.block_size)
+
+    def block_addr(self, block):
+        """First data address of block number *block*."""
+        return self.prot_bottom + block * self.block_size
+
+    def translate(self, addr):
+        """Full translation record for *addr* (Figure `memtrans`)."""
+        offset = addr - self.prot_bottom
+        block = self.block_of(addr)
+        per_log2 = _log2(self.entries_per_byte)
+        byte_index = block >> per_log2
+        entry_index = block & (self.entries_per_byte - 1)
+        shift = entry_index * self.encoding.bits_per_entry
+        return Translation(offset, block, byte_index, entry_index, shift)
+
+    def blocks_spanning(self, addr, nbytes):
+        """Block-number range [first, last] covering [addr, addr+nbytes)."""
+        first = self.block_of(addr)
+        last = self.block_of(addr + max(nbytes, 1) - 1)
+        return first, last
+
+
+class BufferStorage:
+    """Table storage in a plain Python bytearray (golden model)."""
+
+    def __init__(self, nbytes):
+        self.buf = bytearray(nbytes)
+
+    def read_byte(self, index):
+        return self.buf[index]
+
+    def write_byte(self, index, value):
+        self.buf[index] = value & 0xFF
+
+
+class MemoryBackedStorage:
+    """Table storage inside simulated SRAM at ``base`` (UMPU / runtime).
+
+    Reading through this storage sees exactly the bytes the simulated
+    software maintains, which is how the MMC hardware model and the
+    golden model stay comparable on the same machine state.
+    """
+
+    def __init__(self, memory, base):
+        self.memory = memory
+        self.base = base
+
+    def read_byte(self, index):
+        return self.memory.read_data(self.base + index)
+
+    def write_byte(self, index, value):
+        self.memory.write_data(self.base + index, value)
+
+
+class MemoryMap:
+    """Permission table over a protected region.
+
+    All mutating operations keep the paper's invariants: every block has
+    exactly one owner; segment starts are flagged; free blocks read as
+    trusted-owned so no user domain may touch them.
+    """
+
+    def __init__(self, config, storage=None, initialize=True):
+        """*initialize*: mark everything free.  Pass False when wrapping
+        storage some other party already maintains (e.g. a host-side
+        view of the table the simulated runtime keeps in SRAM)."""
+        self.config = config
+        self.encoding = config.encoding
+        self.storage = storage if storage is not None \
+            else BufferStorage(config.table_bytes)
+        if initialize:
+            self.clear()
+
+    # --- raw entry access ----------------------------------------------
+    def get_code(self, block):
+        """Raw permission code of block number *block*."""
+        self._check_block(block)
+        tr = self._translate_block(block)
+        byte = self.storage.read_byte(tr[0])
+        mask = (1 << self.encoding.bits_per_entry) - 1
+        return (byte >> tr[1]) & mask
+
+    def set_code(self, block, code):
+        self._check_block(block)
+        tr = self._translate_block(block)
+        mask = (1 << self.encoding.bits_per_entry) - 1
+        byte = self.storage.read_byte(tr[0])
+        byte = (byte & ~(mask << tr[1])) | ((code & mask) << tr[1])
+        self.storage.write_byte(tr[0], byte)
+
+    def _translate_block(self, block):
+        per_log2 = _log2(self.config.entries_per_byte)
+        byte_index = block >> per_log2
+        entry = block & (self.config.entries_per_byte - 1)
+        return byte_index, entry * self.encoding.bits_per_entry
+
+    def _check_block(self, block):
+        if not 0 <= block < self.config.nblocks:
+            raise ValueError("block {} out of range".format(block))
+
+    # --- decoded access -------------------------------------------------
+    def permission(self, block):
+        return self.encoding.decode(self.get_code(block))
+
+    def owner_of(self, addr):
+        """Owning domain of the block containing *addr*."""
+        return self.permission(self.config.block_of(addr)).owner
+
+    def is_segment_start(self, block):
+        return self.permission(block).is_start
+
+    def set_block(self, block, owner, is_start):
+        self.set_code(block, self.encoding.encode(owner, is_start))
+
+    # --- segment operations -----------------------------------------------
+    def clear(self):
+        """Mark the whole region free (trusted-owned)."""
+        for block in range(self.config.nblocks):
+            self.set_code(block, self.encoding.free)
+
+    def set_segment(self, addr, nbytes, owner):
+        """Mark the blocks covering [addr, addr+nbytes) as one segment
+        owned by *owner* (first block start-flagged)."""
+        first, last = self.config.blocks_spanning(addr, nbytes)
+        for block in range(first, last + 1):
+            self.set_block(block, owner, block == first)
+
+    def free_segment(self, addr):
+        """Mark the segment starting at *addr* free; returns its length
+        in blocks (layout information comes from the map itself)."""
+        length = self.segment_length(addr)
+        first = self.config.block_of(addr)
+        for block in range(first, first + length):
+            self.set_code(block, self.encoding.free)
+        return length
+
+    def segment_length(self, addr):
+        """Length (blocks) of the segment starting at *addr*.
+
+        The segment extends from its start-flagged block over all
+        following same-owner, non-start blocks — this is the layout
+        information the paper encodes to make ``free`` possible without
+        per-allocation headers.
+        """
+        first = self.config.block_of(addr)
+        perm = self.permission(first)
+        if not perm.is_start:
+            raise ValueError(
+                "0x{:04x} is not the start of a segment".format(addr))
+        length = 1
+        for block in range(first + 1, self.config.nblocks):
+            nxt = self.permission(block)
+            if nxt.is_start or nxt.owner != perm.owner:
+                break
+            length += 1
+        return length
+
+    def change_owner(self, addr, new_owner):
+        """Re-own the segment starting at *addr*; preserves layout."""
+        length = self.segment_length(addr)
+        first = self.config.block_of(addr)
+        for block in range(first, first + length):
+            self.set_block(block, new_owner, block == first)
+        return length
+
+    # --- checking ----------------------------------------------------------
+    def check_write(self, addr, domain):
+        """Raise :class:`MemMapFault` unless *domain* may write *addr*.
+
+        The trusted domain may write anywhere; any other domain only
+        into blocks it owns.  (Free blocks are trusted-owned, so they
+        are covered by the same comparison — exactly the single compare
+        the MMC hardware performs.)
+        """
+        if domain == TRUSTED_DOMAIN:
+            return
+        owner = self.owner_of(addr)
+        if owner != domain:
+            raise MemMapFault(addr, domain, owner)
+
+    def segments(self):
+        """Iterate ``(start_addr, nblocks, owner)`` over all non-free
+        segments (free runs are reported with owner TRUSTED_DOMAIN and
+        merged arbitrarily with trusted segments; used for display)."""
+        out = []
+        block = 0
+        n = self.config.nblocks
+        while block < n:
+            perm = self.permission(block)
+            start = block
+            block += 1
+            while block < n:
+                nxt = self.permission(block)
+                if nxt.is_start or nxt.owner != perm.owner:
+                    break
+                block += 1
+            out.append((self.config.block_addr(start), block - start,
+                        perm.owner))
+        return out

@@ -1,0 +1,104 @@
+"""The Safe Stack (paper §3.4): return addresses in protected memory.
+
+A module can corrupt its own run-time stack; to keep control-flow
+integrity, Harbor stores *all* return addresses in a separate stack in a
+protected region.  Per the paper, the safe stack is "set up at the end
+of all global data" and grows *up*, approaching the run-time stack which
+grows down — overflow is detected when the safe-stack pointer reaches
+its limit.
+
+Two frame types live on it:
+
+* a plain return frame (2 bytes: a flash word address) pushed for every
+  function call, and
+* a cross-domain frame (5 bytes: caller domain id, caller stack bound,
+  return address) pushed by the cross-domain call mechanism — the
+  paper's "total information that needs to be pushed to the stack is
+  five bytes".
+
+The stack can be backed by plain Python storage (golden model) or by
+simulated SRAM (UMPU unit / software runtime state), exactly like the
+memory map.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.faults import SafeStackOverflow, SafeStackUnderflow
+from repro.core.memmap import BufferStorage
+
+#: Bytes pushed by a cross-domain call: domain (1) + stack bound (2) +
+#: return address (2).  One byte moves per clock, which is the paper's
+#: five-cycle cross-domain call/return overhead.
+CROSS_DOMAIN_FRAME_BYTES = 5
+
+RETURN_FRAME_BYTES = 2
+
+
+@dataclass(frozen=True)
+class CrossDomainFrame:
+    prev_domain: int
+    prev_stack_bound: int
+    ret_addr: int  # flash word address
+
+
+class SafeStack:
+    """A safe stack region [base, limit) growing upward."""
+
+    def __init__(self, base, limit, storage=None):
+        if limit <= base:
+            raise ValueError("empty safe stack region")
+        self.base = base
+        self.limit = limit
+        self.ptr = base  # next free byte
+        self.storage = storage if storage is not None \
+            else BufferStorage(limit)
+
+    @property
+    def depth_bytes(self):
+        return self.ptr - self.base
+
+    def reset(self):
+        self.ptr = self.base
+
+    # --- byte primitives (public: the UMPU units sequence partial
+    # frames byte-by-byte over these) ------------------------------------
+    def push_byte(self, value):
+        if self.ptr >= self.limit:
+            raise SafeStackOverflow(self.ptr, self.limit)
+        self.storage.write_byte(self.ptr, value & 0xFF)
+        self.ptr += 1
+
+    def pop_byte(self):
+        if self.ptr <= self.base:
+            raise SafeStackUnderflow()
+        self.ptr -= 1
+        return self.storage.read_byte(self.ptr)
+
+    # --- return-address frames ----------------------------------------------
+    def push_return(self, ret_addr):
+        """Push a 2-byte return address (flash word address)."""
+        self.push_byte(ret_addr & 0xFF)
+        self.push_byte((ret_addr >> 8) & 0xFF)
+
+    def pop_return(self):
+        hi = self.pop_byte()
+        lo = self.pop_byte()
+        return (hi << 8) | lo
+
+    # --- cross-domain frames ---------------------------------------------------
+    def push_cross_domain(self, prev_domain, prev_stack_bound, ret_addr):
+        """Push the 5-byte cross-domain frame."""
+        self.push_byte(prev_domain)
+        self.push_byte(prev_stack_bound & 0xFF)
+        self.push_byte((prev_stack_bound >> 8) & 0xFF)
+        self.push_byte(ret_addr & 0xFF)
+        self.push_byte((ret_addr >> 8) & 0xFF)
+
+    def pop_cross_domain(self):
+        ret_hi = self.pop_byte()
+        ret_lo = self.pop_byte()
+        sb_hi = self.pop_byte()
+        sb_lo = self.pop_byte()
+        prev_domain = self.pop_byte()
+        return CrossDomainFrame(prev_domain, (sb_hi << 8) | sb_lo,
+                                (ret_hi << 8) | ret_lo)

@@ -1,0 +1,192 @@
+"""Binary encode/decode of the AVR subset.
+
+The pattern compiler turns the datasheet bit strings of
+:mod:`repro.isa.opcodes` into (mask, value, field-position) triples once
+at import time; encoding and decoding are then plain bit manipulation.
+
+Flash is modelled as a sequence of 16-bit little-endian words; 32-bit
+instructions occupy two consecutive words with the operand field spread
+across both, exactly as on real silicon.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import SPECS, SPEC_BY_KEY
+
+
+class EncodeError(ValueError):
+    """An operand does not fit its encoding field."""
+
+
+class DecodeError(ValueError):
+    """A flash word does not decode to any supported instruction."""
+
+
+@dataclass(frozen=True)
+class _CompiledPattern:
+    mask: int
+    value: int
+    nbits: int
+    # letter -> tuple of bit positions, MSB of the field first
+    fields: dict
+
+
+def _compile(pattern):
+    bits = pattern.replace(" ", "")
+    if len(bits) not in (16, 32):
+        raise ValueError("bad pattern length: {!r}".format(pattern))
+    nbits = len(bits)
+    mask = 0
+    value = 0
+    fields = {}
+    for i, ch in enumerate(bits):
+        pos = nbits - 1 - i
+        if ch == "0":
+            mask |= 1 << pos
+        elif ch == "1":
+            mask |= 1 << pos
+            value |= 1 << pos
+        else:
+            fields.setdefault(ch, []).append(pos)
+    return _CompiledPattern(mask, value,
+                            nbits, {k: tuple(v) for k, v in fields.items()})
+
+
+_COMPILED = {spec.key: _compile(spec.pattern) for spec in SPECS}
+
+# Decode table ordered most-specific first so fully fixed encodings (ret,
+# nop, ...) win over field-bearing patterns they could alias.
+_DECODE_ORDER_16 = sorted(
+    (s for s in SPECS if s.size_words == 1),
+    key=lambda s: bin(_COMPILED[s.key].mask).count("1"),
+    reverse=True,
+)
+_DECODE_ORDER_32 = sorted(
+    (s for s in SPECS if s.size_words == 2),
+    key=lambda s: bin(_COMPILED[s.key].mask).count("1") - 16,
+    reverse=True,
+)
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """A decoded instruction: its spec and concrete operand values.
+
+    ``operands`` are in assembly order and already translated out of
+    field encoding (register numbers are real register numbers, branch
+    offsets are signed word offsets).
+    """
+
+    spec: object
+    operands: tuple
+
+    @property
+    def key(self):
+        return self.spec.key
+
+    @property
+    def mnemonic(self):
+        return self.spec.mnemonic
+
+    @property
+    def size_words(self):
+        return self.spec.size_words
+
+    @property
+    def size_bytes(self):
+        return self.spec.size_bytes
+
+    def operand(self, letter):
+        """Return the value of the operand with field letter *letter*."""
+        for op, val in zip(self.spec.operands, self.operands):
+            if op.letter == letter:
+                return val
+        raise KeyError(letter)
+
+    def __str__(self):
+        if not self.operands:
+            return self.mnemonic
+        return "{} {}".format(
+            self.mnemonic, ", ".join(str(v) for v in self.operands))
+
+
+def encode(key, operands=()):
+    """Encode instruction *key* with *operands* into a tuple of words.
+
+    Operands are given in assembly order (matching ``spec.operands``).
+    Raises :class:`EncodeError` on range violations.
+    """
+    spec = SPEC_BY_KEY[key]
+    pat = _COMPILED[key]
+    if len(operands) != len(spec.operands):
+        raise EncodeError(
+            "{} takes {} operand(s), got {}".format(
+                key, len(spec.operands), len(operands)))
+    word = pat.value
+    for op, val in zip(spec.operands, operands):
+        err = op.kind.check(val)
+        if err:
+            raise EncodeError("{}: {}".format(key, err))
+        raw = op.kind.to_field(val)
+        positions = pat.fields[op.letter]
+        width = len(positions)
+        raw &= (1 << width) - 1
+        for i, pos in enumerate(positions):
+            bit = (raw >> (width - 1 - i)) & 1
+            word |= bit << pos
+    if pat.nbits == 16:
+        return (word,)
+    return (word >> 16, word & 0xFFFF)
+
+
+def decode_words(word0, word1=None):
+    """Decode one instruction from *word0* (and *word1* for 32-bit forms).
+
+    Returns a :class:`DecodedInstr`.  Raises :class:`DecodeError` if no
+    pattern matches.
+    """
+    for spec in _DECODE_ORDER_32:
+        pat = _COMPILED[spec.key]
+        if (word0 & (pat.mask >> 16)) == (pat.value >> 16):
+            if word1 is None:
+                raise DecodeError(
+                    "truncated 32-bit instruction {:04x}".format(word0))
+            full = (word0 << 16) | word1
+            return _extract(spec, pat, full)
+    for spec in _DECODE_ORDER_16:
+        pat = _COMPILED[spec.key]
+        if (word0 & pat.mask) == pat.value:
+            return _extract(spec, pat, word0)
+    raise DecodeError("cannot decode word {:04x}".format(word0))
+
+
+def _extract(spec, pat, word):
+    operands = []
+    for op in spec.operands:
+        positions = pat.fields[op.letter]
+        width = len(positions)
+        raw = 0
+        for pos in positions:
+            raw = (raw << 1) | ((word >> pos) & 1)
+        operands.append(op.kind.from_field(raw, width))
+    return DecodedInstr(spec, tuple(operands))
+
+
+def decode_at(words, index):
+    """Decode the instruction starting at word *index* of sequence *words*.
+
+    Returns ``(DecodedInstr, size_words)``.
+    """
+    w0 = words[index]
+    w1 = words[index + 1] if index + 1 < len(words) else None
+    instr = decode_words(w0, w1)
+    return instr, instr.size_words
+
+
+def is_32bit_opcode(word0):
+    """True if *word0* is the first word of a 32-bit instruction."""
+    for spec in _DECODE_ORDER_32:
+        pat = _COMPILED[spec.key]
+        if (word0 & (pat.mask >> 16)) == (pat.value >> 16):
+            return True
+    return False

@@ -1,0 +1,146 @@
+"""Register file, status register and memory geometry of the target MCU.
+
+The paper implements its hardware extensions on a VHDL model of the
+ATmega103, an AVR microcontroller with 128 KiB of flash, a 4 KiB data
+address space and no MMU.  All addresses in this module are *data-space*
+addresses unless noted: the AVR maps the 32 general-purpose registers to
+data addresses ``0x00-0x1F``, the 64 I/O registers to ``0x20-0x5F`` and
+internal SRAM from ``0x60`` upward.
+"""
+
+from dataclasses import dataclass
+
+
+class SREG_BITS:
+    """Bit positions within the AVR status register (SREG)."""
+
+    C = 0  #: carry
+    Z = 1  #: zero
+    N = 2  #: negative
+    V = 3  #: two's-complement overflow
+    S = 4  #: sign (N xor V)
+    H = 5  #: half carry
+    T = 6  #: bit-copy storage
+    I = 7  #: global interrupt enable
+
+    NAMES = "CZNVSHTI"
+
+    @classmethod
+    def name(cls, bit):
+        """Return the canonical one-letter name of SREG bit *bit*."""
+        return cls.NAMES[bit]
+
+    @classmethod
+    def bit(cls, name):
+        """Return the bit position of the SREG flag called *name*."""
+        return cls.NAMES.index(name.upper())
+
+
+class IoReg:
+    """I/O-space addresses (``in``/``out`` operand space, 0..63) of the
+    core registers the simulator implements.
+
+    Data-space address = I/O address + 0x20.
+    """
+
+    SPL = 0x3D
+    SPH = 0x3E
+    SREG = 0x3F
+    RAMPZ = 0x3B  # flash page register for elpm (128 KiB parts)
+
+    # --- UMPU extension registers (Table `mmap_config` of the paper, plus
+    # the stack-bound / safe-stack state of Sections 3.3-3.4).  The real
+    # design adds these to extended I/O; we place them in otherwise unused
+    # I/O slots so that `in`/`out` reach them directly.
+    MEM_MAP_BASE_L = 0x20
+    MEM_MAP_BASE_H = 0x21
+    MEM_PROT_BOT_L = 0x22
+    MEM_PROT_BOT_H = 0x23
+    MEM_PROT_TOP_L = 0x24
+    MEM_PROT_TOP_H = 0x25
+    MEM_MAP_CONFIG = 0x26
+    STACK_BOUND_L = 0x27
+    STACK_BOUND_H = 0x28
+    SAFE_STACK_PTR_L = 0x29
+    SAFE_STACK_PTR_H = 0x2A
+    CUR_DOMAIN = 0x2B
+    JT_BASE_L = 0x2C
+    JT_BASE_H = 0x2D
+    UMPU_CTRL = 0x2E
+
+    UMPU_REGISTERS = tuple(range(0x20, 0x2F))
+
+
+@dataclass(frozen=True)
+class AvrGeometry:
+    """Memory geometry of an AVR part.
+
+    Attributes
+    ----------
+    flash_bytes:
+        Size of program flash in bytes (code addresses are byte
+        addresses; the program counter holds *word* addresses).
+    sram_start:
+        First data-space address of internal SRAM (0x60 on the
+        ATmega103: below it live the register file and I/O space).
+    data_end:
+        Last valid data-space address (inclusive).  The run-time stack
+        is initialized here and grows down.
+    io_start:
+        First data-space address of the I/O window.
+    """
+
+    name: str
+    flash_bytes: int
+    sram_start: int
+    data_end: int
+    io_start: int = 0x20
+
+    @property
+    def flash_words(self):
+        return self.flash_bytes // 2
+
+    @property
+    def sram_bytes(self):
+        return self.data_end - self.sram_start + 1
+
+    @property
+    def data_space_bytes(self):
+        """Total data address space covered (0 .. data_end)."""
+        return self.data_end + 1
+
+    @property
+    def ramend(self):
+        return self.data_end
+
+    def is_register(self, addr):
+        return 0 <= addr < self.io_start
+
+    def is_io(self, addr):
+        return self.io_start <= addr < self.sram_start
+
+    def is_sram(self, addr):
+        return self.sram_start <= addr <= self.data_end
+
+
+#: Geometry of the ATmega103, the part modelled in the paper: 128 KiB
+#: flash and a 4 KiB data space (regs + I/O + SRAM), matching the paper's
+#: "maximum memory map size is 256 bytes" (512 eight-byte blocks at four
+#: bits each) and "3674 bytes (2.8%)" of 128 KiB flash.
+ATMEGA103 = AvrGeometry(
+    name="atmega103",
+    flash_bytes=128 * 1024,
+    sram_start=0x60,
+    data_end=0x0FFF,
+)
+
+
+_PAIR_NAMES = {26: "X", 28: "Y", 30: "Z"}
+
+
+def pair_name(lo_reg):
+    """Human name of the 16-bit pointer pair starting at register *lo_reg*
+    (``X``/``Y``/``Z`` for r26/r28/r30, otherwise ``r<n>:r<n+1>``)."""
+    if lo_reg in _PAIR_NAMES:
+        return _PAIR_NAMES[lo_reg]
+    return "r{}:r{}".format(lo_reg + 1, lo_reg)

@@ -1,0 +1,127 @@
+"""Memory layout and assembly-time configuration of the SFI runtime.
+
+The software-only Harbor keeps all protection state in trusted SRAM
+globals (there are no UMPU registers to hold it).  The layout mirrors
+the paper's: trusted globals + memory map table low, the heap (memory
+map protected) in the middle, the safe stack above it growing up, the
+run-time stack at RAMEND growing down.
+
+Everything here is an *assembly-time* constant: the paper's software
+library is compiled for a given configuration, and fixing block size and
+bounds at build time is what keeps the software checker at tens (not
+hundreds) of cycles.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.memmap import MemMapConfig
+
+
+@dataclass(frozen=True)
+class SfiLayout:
+    """Build-time configuration for the SFI runtime."""
+
+    # trusted state cells (SRAM, below the protected region)
+    cur_dom: int = 0x0060
+    stack_bound: int = 0x0061   # 2 bytes (lo, hi)
+    ss_ptr: int = 0x0063        # safe stack pointer, 2 bytes
+    freelist: int = 0x0065      # free list head, 2 bytes
+    fault_code: int = 0x0067
+    fault_addr: int = 0x0068    # 2 bytes; faulting store address
+    scratch: int = 0x006A       # 2 bytes of runtime scratch
+
+    # memory map table
+    memmap_table: int = 0x0100
+
+    # protected region (heap + safe stack)
+    prot_bottom: int = 0x0200
+    prot_top: int = 0x0CFF
+    block_size: int = 8
+    mode: str = "multi"
+
+    heap_start: int = 0x0200
+    heap_end: int = 0x0C00
+
+    safe_stack_base: int = 0x0C00
+    safe_stack_limit: int = 0x0D00
+
+    # jump tables in flash
+    jt_base: int = 0x1000
+    jt_page_bytes: int = 512    # 128 entries x 4-byte jmp
+    ndomains: int = 8
+
+    #: header bytes preceding every heap allocation: size (2) + owner (1)
+    #: + flags (1), the SOS-style block header both allocator variants
+    #: share so that "normal" and "protected" are comparable.
+    heap_header: int = 4
+
+    @property
+    def block_log2(self):
+        return self.block_size.bit_length() - 1
+
+    @property
+    def memmap_config(self):
+        return MemMapConfig(prot_bottom=self.prot_bottom,
+                            prot_top=self.prot_top,
+                            block_size=self.block_size,
+                            mode=self.mode)
+
+    @property
+    def jt_end(self):
+        return self.jt_base + self.ndomains * self.jt_page_bytes
+
+    @property
+    def jt_page_log2(self):
+        if self.jt_page_bytes & (self.jt_page_bytes - 1):
+            raise ValueError("jump table page size must be a power of two")
+        return self.jt_page_bytes.bit_length() - 1
+
+    def symbols(self):
+        """Assembler symbol definitions for the runtime source."""
+        return {
+            "HB_CUR_DOM": self.cur_dom,
+            "HB_SB_LO": self.stack_bound,
+            "HB_SB_HI": self.stack_bound + 1,
+            "HB_SS_LO": self.ss_ptr,
+            "HB_SS_HI": self.ss_ptr + 1,
+            "HB_FREE_LO": self.freelist,
+            "HB_FREE_HI": self.freelist + 1,
+            "HB_FAULT_CODE": self.fault_code,
+            "HB_FAULT_ADDR": self.fault_addr,
+            "HB_SCRATCH": self.scratch,
+            "HB_MMAP_TABLE": self.memmap_table,
+            "HB_PROT_BOT": self.prot_bottom,
+            "HB_PROT_TOP": self.prot_top,
+            "HB_BLOCK_LOG2": self.block_log2,
+            "HB_HEAP_START": self.heap_start,
+            "HB_HEAP_END": self.heap_end,
+            "HB_SS_BASE": self.safe_stack_base,
+            "HB_SS_LIMIT": self.safe_stack_limit,
+            "HB_JT_BASE": self.jt_base,
+            "HB_JT_END": self.jt_end,
+            "HB_JT_PAGE_LOG2": self.jt_page_log2,
+            "HB_NDOMAINS": self.ndomains,
+            "HB_HDR": self.heap_header,
+            "HB_TRUSTED": 7,
+        }
+
+
+#: Fault codes written to ``fault_code`` before halting (the on-node
+#: equivalent of raising; the host harness maps them back to the typed
+#: exceptions of :mod:`repro.core.faults`).
+FAULT_NONE = 0
+FAULT_MEMMAP = 1
+FAULT_STACK_BOUND = 2
+FAULT_OUTSIDE = 3
+FAULT_JT = 4
+FAULT_SS_OVERFLOW = 5
+FAULT_OWNERSHIP = 6
+
+FAULT_NAMES = {
+    FAULT_MEMMAP: "memmap",
+    FAULT_STACK_BOUND: "stack_bound",
+    FAULT_OUTSIDE: "outside_region",
+    FAULT_JT: "jump_table",
+    FAULT_SS_OVERFLOW: "safe_stack_overflow",
+    FAULT_OWNERSHIP: "ownership",
+}

@@ -1,0 +1,379 @@
+"""Binary rewriter: sandbox a compiled module (paper §4).
+
+The rewriter consumes an assembled module image and produces an
+equivalent image in which every potentially unsafe operation is replaced
+by a call into the Harbor runtime:
+
+* store instructions (``st``/``std``/``sts``) become marshaling
+  sequences + calls to the per-addressing-mode check stubs;
+* direct calls into the jump-table region, and all computed calls
+  (``icall``), become cross-domain call sequences through
+  ``hb_xdom_call``;
+* every function entry gains a ``call hb_save_ret`` prologue and every
+  ``ret`` a ``call hb_restore_ret`` epilogue (return addresses live on
+  the safe stack);
+* ``ijmp``, ``break``, writes to SPL/SPH and other unsandboxable
+  operations are rejected outright.
+
+Because replacements change instruction sizes, the rewriter re-lays the
+code out and fixes every relative branch, with classic branch
+*relaxation*: a conditional branch whose target moves out of the ±64
+word range is rewritten as an inverted branch over an ``rjmp``, and an
+out-of-range ``rjmp``/``rcall`` is promoted to ``jmp``/``call``.  The
+loop iterates to a fixpoint (each relaxation can push other branches out
+of range).
+
+Note the asymmetry the paper relies on: *the rewriter is untrusted*.
+A buggy or malicious rewriter can produce garbage, but the on-node
+:mod:`repro.sfi.verifier` independently accepts only properly sandboxed
+binaries, so Harbor's correctness "depends only upon the correctness of
+the verifier and the Harbor runtime, and not on the rewriter".
+"""
+
+from dataclasses import dataclass, field
+
+from repro.asm.disassembler import disassemble
+from repro.asm.program import Program
+from repro.isa.encoding import encode
+from repro.isa.registers import IoReg
+from repro.sfi.layout import SfiLayout
+from repro.sfi.runtime_asm import STORE_STUBS
+
+
+class RewriteError(Exception):
+    """The module contains an operation the sandbox cannot express."""
+
+
+# Operand placeholders resolved at layout time:
+#   ("old", byte_addr)  - a location in the original module
+#   ("sym", name)       - a runtime symbol (stub entry)
+#   ("abs", byte_addr)  - an absolute, non-moving address (jump table)
+def _is_placeholder(op):
+    return isinstance(op, tuple) and op and op[0] in ("old", "sym", "abs")
+
+
+@dataclass
+class _Item:
+    """One output instruction (or data word) during layout."""
+
+    key: str            # spec key, or "data"
+    operands: tuple
+    old_addr: int = None    # original byte address (first item of a group)
+    new_addr: int = None
+    size_words: int = 1
+
+    def compute_size(self):
+        if self.key == "data":
+            self.size_words = 1
+        else:
+            from repro.isa.opcodes import SPEC_BY_KEY
+            self.size_words = SPEC_BY_KEY[self.key].size_words
+        return self.size_words
+
+
+@dataclass
+class RewrittenModule:
+    """Result of rewriting: image + address maps."""
+
+    program: Program
+    start: int                  # byte address of the rewritten code
+    end: int                    # first byte past it
+    addr_map: dict              # old byte addr -> new byte addr
+    exports: dict               # name -> new byte addr
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def size_bytes(self):
+        return self.end - self.start
+
+
+class Rewriter:
+    """Sandboxes module images against a Harbor runtime."""
+
+    #: instructions that can never appear in a sandboxed module
+    FORBIDDEN = {"break", "ijmp", "reti", "sleep", "wdr"}
+
+    def __init__(self, runtime_symbols, layout=None):
+        """*runtime_symbols*: symbol table of the assembled runtime
+        (entry-point name -> byte address)."""
+        self.layout = layout or SfiLayout()
+        self.runtime = runtime_symbols
+
+    # ------------------------------------------------------------------
+    def rewrite(self, module, new_origin, exports=(), entries=()):
+        """Rewrite *module* (a Program) to run at *new_origin*.
+
+        ``exports`` are names of functions other domains may call (their
+        rewritten addresses are reported for the linker); ``entries``
+        are additional known function-entry labels.  Function entries
+        (prologue insertion points) are the union of exports, entries
+        and every target of an internal call.
+        """
+        lines = disassemble(module)
+        entry_addrs = self._find_entries(module, lines, exports, entries)
+        items = []
+        stats = {"stores": 0, "cross_calls": 0, "rets": 0, "icalls": 0,
+                 "prologues": 0}
+        for line in lines:
+            if line.instr is None:
+                raise RewriteError(
+                    "undecodable word 0x{:04x} at 0x{:04x}: modules must "
+                    "be pure code".format(line.words[0], line.byte_addr))
+            if line.byte_addr in entry_addrs:
+                items.append(_Item("call", (("sym", "hb_save_ret"),),
+                                   old_addr=line.byte_addr))
+                stats["prologues"] += 1
+            items.extend(self._transform(line, stats))
+        layout_items = self._layout(items, new_origin)
+        return self._emit(module, layout_items, new_origin, exports, stats)
+
+    # ------------------------------------------------------------------
+    def _find_entries(self, module, lines, exports, entries):
+        addrs = set()
+        for name in list(exports) + list(entries):
+            addrs.add(module.symbol(name))
+        lo, hi = module.extent()
+        lo *= 2
+        hi = hi * 2 + 1
+        for line in lines:
+            if line.instr is None:
+                continue
+            key = line.instr.key
+            if key in ("call", "rcall"):
+                target = self._static_target(line)
+                if lo <= target <= hi:
+                    addrs.add(target)
+        return addrs
+
+    @staticmethod
+    def _static_target(line):
+        instr = line.instr
+        if instr.key in ("rcall", "rjmp"):
+            return line.byte_addr + 2 + 2 * instr.operands[0]
+        if instr.key in ("call", "jmp"):
+            return instr.operands[0] * 2
+        raise ValueError(instr.key)
+
+    # ------------------------------------------------------------------
+    def _transform(self, line, stats):
+        """Map one original instruction to its sandboxed item sequence."""
+        instr = line.instr
+        key = instr.key
+        spec = instr.spec
+        old = line.byte_addr
+
+        if key in self.FORBIDDEN:
+            raise RewriteError("forbidden instruction {!r} at 0x{:04x}"
+                               .format(key, old))
+        if key == "out" and instr.operands[0] in (IoReg.SPL, IoReg.SPH):
+            raise RewriteError(
+                "module writes the stack pointer at 0x{:04x}".format(old))
+        if key == "out" and instr.operands[0] in IoReg.UMPU_REGISTERS:
+            raise RewriteError(
+                "module writes a protection register at 0x{:04x}".format(old))
+
+        if spec.kind == "store" or key == "sts":
+            stats["stores"] += 1
+            return self._rewrite_store(instr, old)
+        if key == "icall":
+            stats["icalls"] += 1
+            return [_Item("call", (("sym", "hb_xdom_call"),), old_addr=old)]
+        if key in ("call", "rcall"):
+            target = self._static_target(line)
+            if self.layout.jt_base <= target < self.layout.jt_end:
+                stats["cross_calls"] += 1
+                return self._rewrite_cross_call(target, old)
+            # internal (or runtime) call: map the target at layout time
+            return [_Item("call", (("old", target),), old_addr=old)]
+        if key in ("jmp", "rjmp"):
+            target = self._static_target(line)
+            return [_Item("rjmp", (("old", target),), old_addr=old)]
+        if key == "ret":
+            stats["rets"] += 1
+            return [
+                _Item("call", (("sym", "hb_restore_ret"),), old_addr=old),
+                _Item("ret", ()),
+            ]
+        if key in ("brbs", "brbc"):
+            target = old + 2 + 2 * instr.operands[1]
+            return [_Item(key, (instr.operands[0], ("old", target)),
+                          old_addr=old)]
+        # everything else is safe and position-independent
+        return [_Item(key, instr.operands, old_addr=old)]
+
+    # ------------------------------------------------------------------
+    def _rewrite_store(self, instr, old):
+        spec = instr.spec
+        items = []
+
+        def ins(key, *ops):
+            items.append(_Item(key, tuple(ops),
+                               old_addr=old if not items else None))
+
+        if instr.key == "sts":
+            addr, reg = instr.operands
+            if reg != 18:
+                ins("push", 18)
+                ins("mov", 18, reg)
+            ins("push", 26)
+            ins("push", 27)
+            ins("ldi", 26, addr & 0xFF)
+            ins("ldi", 27, (addr >> 8) & 0xFF)
+            ins("call", ("sym", "hb_st_sts"))
+            ins("pop", 27)
+            ins("pop", 26)
+            if reg != 18:
+                ins("pop", 18)
+            return items
+
+        ptr = spec.modes["ptr"]
+        displaced = spec.modes.get("disp", False)
+        post_inc = spec.modes.get("post_inc", False)
+        pre_dec = spec.modes.get("pre_dec", False)
+        reg = instr.operands[-1]
+        q = instr.operand("q") if displaced else 0
+        if ptr == "X" and displaced:
+            raise RewriteError("st X with displacement cannot exist")
+        if ptr != "X" and not (post_inc or pre_dec):
+            displaced = True  # plain st Y/Z is the q=0 displaced form
+        stub = STORE_STUBS[(ptr, post_inc, pre_dec, displaced)]
+
+        if reg != 18:
+            ins("push", 18)
+            ins("mov", 18, reg)
+        if displaced:
+            ins("push", 19)
+            ins("ldi", 19, q)
+        ins("call", ("sym", stub))
+        if displaced:
+            ins("pop", 19)
+        if reg != 18:
+            ins("pop", 18)
+        return items
+
+    def _rewrite_cross_call(self, target, old):
+        word = target // 2
+        return [
+            _Item("push", (30,), old_addr=old),
+            _Item("push", (31,)),
+            _Item("ldi", (30, word & 0xFF)),
+            _Item("ldi", (31, (word >> 8) & 0xFF)),
+            _Item("call", (("sym", "hb_xdom_call"),)),
+            _Item("pop", (31,)),
+            _Item("pop", (30,)),
+        ]
+
+    # ------------------------------------------------------------------
+    def _layout(self, items, new_origin):
+        """Assign addresses and relax out-of-range branches to fixpoint."""
+        for _round in range(64):
+            addr = new_origin
+            addr_map = {}
+            for item in items:
+                item.compute_size()
+                item.new_addr = addr
+                if item.old_addr is not None and item.old_addr not in \
+                        addr_map:
+                    # first item claiming an old address wins: an
+                    # inserted prologue must shadow the instruction it
+                    # precedes so that calls enter through it
+                    addr_map[item.old_addr] = addr
+                addr += item.size_words * 2
+            relaxed = self._relax(items, addr_map)
+            if not relaxed:
+                self._addr_map = addr_map
+                return items
+            items = relaxed
+        raise RewriteError("branch relaxation did not converge")
+
+    def _resolve(self, op, addr_map):
+        if not _is_placeholder(op):
+            return op
+        kind, value = op
+        if kind == "sym":
+            return self.runtime[value]
+        if kind == "abs":
+            return value
+        if kind == "old":
+            if value not in addr_map:
+                raise RewriteError(
+                    "branch/call into unmapped address 0x{:04x} "
+                    "(outside the module?)".format(value))
+            return addr_map[value]
+        raise ValueError(op)
+
+    def _relax(self, items, addr_map):
+        """Return a new item list if any branch needed relaxation."""
+        out = []
+        changed = False
+        for item in items:
+            if item.key in ("brbs", "brbc") and _is_placeholder(
+                    item.operands[1]):
+                target = self._resolve(item.operands[1], addr_map)
+                off = (target - (item.new_addr + 2)) // 2
+                if not -64 <= off <= 63:
+                    # invert the branch over an rjmp
+                    inv = "brbc" if item.key == "brbs" else "brbs"
+                    out.append(_Item(inv, (item.operands[0], ("skip", 1)),
+                                     old_addr=item.old_addr))
+                    out.append(_Item("rjmp", (item.operands[1],)))
+                    changed = True
+                    continue
+            if item.key == "rjmp" and _is_placeholder(item.operands[0]):
+                target = self._resolve(item.operands[0], addr_map)
+                off = (target - (item.new_addr + 2)) // 2
+                if not -2048 <= off <= 2047:
+                    out.append(_Item("jmp", item.operands,
+                                     old_addr=item.old_addr))
+                    changed = True
+                    continue
+            out.append(item)
+        return out if changed else None
+
+    # ------------------------------------------------------------------
+    def _emit(self, module, items, new_origin, exports, stats):
+        addr_map = self._addr_map
+        program = Program(source_name="{}@rewritten".format(
+            module.source_name))
+        end = new_origin
+        for index, item in enumerate(items):
+            operands = []
+            for op in item.operands:
+                if isinstance(op, tuple) and op[0] == "skip":
+                    # branch over the next instruction (the relaxation
+                    # rjmp/jmp); offset = its size in words
+                    operands.append(items[index + 1].size_words)
+                elif _is_placeholder(op):
+                    target = self._resolve(op, addr_map)
+                    operands.append(
+                        self._encode_target(item, target))
+                else:
+                    operands.append(op)
+            if item.key == "data":
+                program.set_word(item.new_addr // 2, operands[0])
+                end = item.new_addr + 2
+                continue
+            words = encode(item.key, tuple(operands))
+            for i, w in enumerate(words):
+                program.set_word(item.new_addr // 2 + i, w)
+            end = item.new_addr + 2 * len(words)
+        # translate symbols
+        lo, hi = module.extent()
+        for name, old in module.symbols.items():
+            if old in addr_map:
+                program.symbols[name] = addr_map[old]
+        export_map = {name: addr_map[module.symbol(name)]
+                      for name in exports}
+        stats["size_in"] = module.code_bytes
+        stats["size_out"] = end - new_origin
+        return RewrittenModule(program=program, start=new_origin, end=end,
+                               addr_map=dict(addr_map),
+                               exports=export_map, stats=stats)
+
+    @staticmethod
+    def _encode_target(item, target_byte):
+        if item.key in ("brbs", "brbc", "rjmp", "rcall"):
+            return (target_byte - (item.new_addr + 2)) // 2
+        if item.key in ("jmp", "call"):
+            return target_byte // 2
+        raise ValueError(item.key)

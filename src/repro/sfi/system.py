@@ -1,0 +1,291 @@
+"""SfiSystem: a complete software-only Harbor node.
+
+Assembles the runtime, lays out the jump tables, loads modules through
+the rewriter + verifier pipeline, and exposes a host-side API that maps
+on-node faults (fault code + ``break``) back into the typed exceptions
+of :mod:`repro.core.faults`.
+
+This is the first of the paper's two systems; the second
+(:class:`repro.umpu.UmpuMachine`) runs the *same module binaries
+unrewritten* with the checks in hardware.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.control_flow import JumpTable
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import (
+    JumpTableFault,
+    MemMapFault,
+    OwnershipFault,
+    ProtectionFault,
+    SafeStackOverflow,
+    StackBoundFault,
+    UntrustedAccessFault,
+)
+from repro.core.memmap import MemoryBackedStorage, MemoryMap
+from repro.sfi.layout import (
+    FAULT_JT,
+    FAULT_MEMMAP,
+    FAULT_OUTSIDE,
+    FAULT_OWNERSHIP,
+    FAULT_SS_OVERFLOW,
+    FAULT_STACK_BOUND,
+    SfiLayout,
+)
+from repro.sfi.rewriter import Rewriter
+from repro.sfi.runtime_asm import build_runtime
+from repro.sfi.verifier import Verifier
+from repro.sim import Machine
+from repro.sos.linker import CrossDomainLinker
+
+#: kernel services exported through the trusted domain's jump table
+KERNEL_EXPORTS = (
+    ("malloc", "hb_malloc_svc"),
+    ("free", "hb_free_svc"),
+    ("change_own", "hb_change_own_svc"),
+    ("noop", "hb_noop"),
+)
+
+
+@dataclass
+class LoadedModule:
+    """A module admitted into the system."""
+
+    name: str
+    domain: int
+    start: int
+    end: int
+    exports: dict           # name -> jump-table entry byte address
+    rewrite_stats: dict
+    verify_report: object
+
+
+class SfiSystem:
+    """A simulated node running the software-only Harbor system."""
+
+    def __init__(self, layout=None, allowed_io=()):
+        self.layout = layout or SfiLayout()
+        self.runtime = build_runtime(self.layout)
+        self.machine = Machine(self.runtime)
+        self.jump_table = JumpTable(
+            base=self.layout.jt_base,
+            ndomains=self.layout.ndomains,
+            entries_per_domain=self.layout.jt_page_bytes // 4,
+            entry_bytes=4)
+        self.linker = CrossDomainLinker(
+            self.jump_table,
+            exception_target=self.runtime.symbol("hb_fault_r20"))
+        self.rewriter = Rewriter(self.runtime.symbols, self.layout)
+        self.verifier = Verifier(self.runtime.symbols, self.layout,
+                                 allowed_io=allowed_io)
+        self.modules = {}
+        self._next_load = self.layout.jt_end
+        self._next_domain = 0
+        self._free_domains = []
+        # kernel services live in the trusted domain's jump table page
+        for name, entry in KERNEL_EXPORTS:
+            self.linker.export(TRUSTED_DOMAIN, name,
+                               self.runtime.symbol(entry))
+        self._flush_jump_table()
+        self.boot()
+
+    # ------------------------------------------------------------------
+    def boot(self):
+        """Run hb_init: protection state, memory map, heap free list."""
+        self.machine.reset()
+        self._checked_call("hb_init", max_cycles=100000)
+        return self
+
+    def _flush_jump_table(self):
+        self.linker.emit(self.machine.memory.write_flash_word)
+        self.machine.core.invalidate_decode_cache()
+
+    # ------------------------------------------------------------------
+    @property
+    def memmap(self):
+        """Host-side view of the in-SRAM memory map table."""
+        return MemoryMap(self.layout.memmap_config,
+                         MemoryBackedStorage(self.machine.memory,
+                                             self.layout.memmap_table),
+                         initialize=False)
+
+    @property
+    def cur_domain(self):
+        return self.machine.memory.read_data(self.layout.cur_dom)
+
+    def kernel_symbols(self):
+        """Symbols module sources assemble against: kernel jump-table
+        entries (KERNEL_MALLOC, ...) plus already-loaded module exports
+        (JT_<module>_<export>)."""
+        syms = {}
+        for name, _entry in KERNEL_EXPORTS:
+            syms["KERNEL_" + name.upper()] = self.linker.entry_for(
+                TRUSTED_DOMAIN, name)
+        for module in self.modules.values():
+            for export, addr in module.exports.items():
+                syms["JT_{}_{}".format(module.name.upper(),
+                                       export.upper())] = addr
+        return syms
+
+    # ------------------------------------------------------------------
+    def load_module(self, program, name, exports=(), entries=()):
+        """Admit a module: rewrite, verify, link, install.
+
+        *program* is the module's assembled image (unsandboxed).
+        Returns the :class:`LoadedModule`; raises
+        :class:`~repro.sfi.verifier.VerifyError` if the rewritten binary
+        does not verify (correctness depends on the verifier, not the
+        rewriter).
+        """
+        if self._free_domains:
+            domain = self._free_domains.pop(0)
+        elif self._next_domain < self.layout.ndomains - 1:
+            domain = self._next_domain
+        else:
+            raise ValueError("no free protection domain")
+        rewritten = self.rewriter.rewrite(program, self._next_load,
+                                          exports=exports, entries=entries)
+        self.verifier.verify(rewritten.program, rewritten.start,
+                             rewritten.end)
+        for word_addr, value in rewritten.program.words.items():
+            self.machine.memory.write_flash_word(word_addr, value)
+        self.machine.core.invalidate_decode_cache()
+        jt_exports = {}
+        for export in exports:
+            jt_exports[export] = self.linker.export(
+                domain, export, rewritten.exports[export])
+        self._flush_jump_table()
+        module = LoadedModule(
+            name=name, domain=domain, start=rewritten.start,
+            end=rewritten.end, exports=jt_exports,
+            rewrite_stats=rewritten.stats,
+            verify_report=None)
+        self.modules[name] = module
+        if domain == self._next_domain:
+            self._next_domain += 1
+        self._next_load = (rewritten.end + 0xFF) & ~0xFF
+        return module
+
+
+    def unload_module(self, name):
+        """Unload a module: free every heap segment its domain owns,
+        drop its jump-table entries (slots revert to the exception
+        routine), and release the domain id for reuse.  The module's
+        flash stays behind (as on a real node) but is no longer
+        reachable through any jump table."""
+        module = self.modules.pop(name)
+        memmap = self.memmap
+        heap_start, heap_end = self.layout.heap_start, self.layout.heap_end
+        for start, _nblocks, owner in memmap.segments():
+            if owner == module.domain and heap_start <= start < heap_end:
+                self.free(start + self.layout.heap_header)
+        self.linker.unlink_domain(module.domain)
+        self._flush_jump_table()
+        self._free_domains.append(module.domain)
+        return module
+
+    # ------------------------------------------------------------------
+    def _fault_exception(self):
+        mem = self.machine.memory
+        code = mem.read_data(self.layout.fault_code)
+        if not code:
+            return None
+        addr = mem.read_word_data(self.layout.fault_addr)
+        domain = self.cur_domain
+        if code == FAULT_MEMMAP:
+            owner = self.memmap.owner_of(addr) \
+                if self.layout.memmap_config.contains(addr) else None
+            return MemMapFault(addr, domain, owner)
+        if code == FAULT_STACK_BOUND:
+            bound = mem.read_word_data(self.layout.stack_bound)
+            return StackBoundFault(addr, domain, bound)
+        if code == FAULT_OUTSIDE:
+            return UntrustedAccessFault(addr, domain)
+        if code == FAULT_JT:
+            return JumpTableFault(addr, domain=domain)
+        if code == FAULT_SS_OVERFLOW:
+            return SafeStackOverflow(
+                mem.read_word_data(self.layout.ss_ptr),
+                self.layout.safe_stack_limit)
+        if code == FAULT_OWNERSHIP:
+            return OwnershipFault(addr, domain, None, "free/change_own")
+        return ProtectionFault("fault code {}".format(code), domain=domain)
+
+    def clear_fault(self):
+        self.machine.memory.write_data(self.layout.fault_code, 0)
+        self.machine.core.halted = False
+
+    def recover(self):
+        """Kernel-side recovery after a contained fault: restore the
+        protection state so the node keeps dispatching ("a stable kernel
+        can always ensure a clean re-start of user modules")."""
+        self.clear_fault()
+        mem = self.machine.memory
+        mem.write_data(self.layout.cur_dom, TRUSTED_DOMAIN)
+        mem.write_word_data(self.layout.stack_bound,
+                            self.machine.geometry.ramend)
+        mem.write_word_data(self.layout.ss_ptr,
+                            self.layout.safe_stack_base)
+        mem.sp = self.machine.geometry.ramend
+        return self
+
+    def _checked_call(self, target, *args, max_cycles=1_000_000):
+        cycles = self.machine.call(target, *args, max_cycles=max_cycles)
+        exc = self._fault_exception()
+        if exc is not None:
+            self.clear_fault()
+            raise exc
+        return cycles
+
+    # ------------------------------------------------------------------
+    def call_export(self, module, export, *args, max_cycles=1_000_000):
+        """Host-side dispatch into a module export via a cross-domain
+        call (what the kernel scheduler does to deliver a message)."""
+        entry = self.modules[module].exports[export]
+        m = self.machine
+        m.set_args(*args)
+        m.core.set_reg_pair(30, entry // 2)  # Z = target word address
+        cycles = self._checked_call_regs("hb_xdom_call",
+                                         max_cycles=max_cycles)
+        return m.result16(), cycles
+
+    def _checked_call_regs(self, target, max_cycles=1_000_000):
+        """Like _checked_call but without touching argument registers."""
+        m = self.machine
+        m.core.push_return_address(0xFFFE)
+        m.core.pc = self.runtime.symbol(target) // 2
+        start = m.core.cycles
+        m.core.run(max_cycles=max_cycles, until_pc=0xFFFE)
+        exc = self._fault_exception()
+        if exc is not None:
+            self.clear_fault()
+            raise exc
+        return m.core.cycles - start
+
+    # --- trusted host-side memory API -------------------------------------------
+    def malloc(self, nbytes, domain=TRUSTED_DOMAIN):
+        prev = self.cur_domain
+        self.machine.memory.write_data(self.layout.cur_dom, domain)
+        try:
+            self._checked_call("hb_malloc", nbytes)
+        finally:
+            self.machine.memory.write_data(self.layout.cur_dom, prev)
+        ptr = self.machine.result16()
+        return ptr or None
+
+    def free(self, ptr, domain=TRUSTED_DOMAIN):
+        prev = self.cur_domain
+        self.machine.memory.write_data(self.layout.cur_dom, domain)
+        try:
+            self._checked_call("hb_free", ptr)
+        finally:
+            self.machine.memory.write_data(self.layout.cur_dom, prev)
+
+    def change_own(self, ptr, new_domain, domain=TRUSTED_DOMAIN):
+        prev = self.cur_domain
+        self.machine.memory.write_data(self.layout.cur_dom, domain)
+        try:
+            self._checked_call("hb_change_own", ptr, ("u8", new_domain))
+        finally:
+            self.machine.memory.write_data(self.layout.cur_dom, prev)

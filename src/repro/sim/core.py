@@ -1,0 +1,625 @@
+"""Instruction-level AVR core with datasheet cycle accounting.
+
+The core interprets decoded instructions from flash, updating the
+register file, SREG and data memory.  Every data-space transaction goes
+through the :class:`repro.sim.bus.DataBus` so that the UMPU functional
+units can observe it; register-file and SREG manipulation by the ALU is
+internal to the core (as on silicon) and does not appear on the bus.
+
+Cycle counts follow the classic AVR (ATmega103) datasheet: 1 cycle for
+ALU ops, 2 for loads/stores and taken branches, 3/4 for calls, 4 for
+returns.  Functional units may add stall cycles per transaction; these
+are returned by the bus and added to the core's cycle counter, which is
+how the MMC's single-cycle store penalty is measured.
+"""
+
+from repro.isa.encoding import DecodeError, decode_words
+from repro.isa.registers import ATMEGA103, SREG_BITS, IoReg
+from repro.sim.errors import BadOpcode, CycleLimitExceeded
+from repro.sim.events import AccessKind
+
+_C = SREG_BITS.C
+_Z = SREG_BITS.Z
+_N = SREG_BITS.N
+_V = SREG_BITS.V
+_S = SREG_BITS.S
+_H = SREG_BITS.H
+_T = SREG_BITS.T
+
+_PTR_REG = {"X": 26, "Y": 28, "Z": 30}
+
+
+class AvrCore:
+    """Fetch/decode/execute interpreter for the AVR subset."""
+
+    def __init__(self, memory, bus, geometry=ATMEGA103):
+        self.memory = memory
+        self.bus = bus
+        self.geometry = geometry
+        self.pc = 0  # word address
+        self.cycles = 0
+        self.halted = False
+        self._decode_cache = {}
+        #: hooks called around control transfers; the UMPU domain
+        #: tracker installs itself here. Signature: (core, event, ...).
+        self.call_hooks = []
+        #: optional repro.sim.interrupts.InterruptController
+        self.interrupts = None
+        #: peripherals ticked with elapsed cycles after every step
+        self.devices = []
+        bus.cycle_hook = lambda: self.cycles
+
+    # --- register / flag helpers ------------------------------------------
+    def reg(self, n):
+        return self.memory.reg(n)
+
+    def set_reg(self, n, value):
+        self.memory.set_reg(n, value)
+
+    def reg_pair(self, n):
+        return self.memory.reg_pair(n)
+
+    def set_reg_pair(self, n, value):
+        self.memory.set_reg_pair(n, value)
+
+    @property
+    def sp(self):
+        return self.memory.sp
+
+    @sp.setter
+    def sp(self, value):
+        self.memory.sp = value & 0xFFFF
+
+    @property
+    def sreg(self):
+        return self.memory.sreg
+
+    @sreg.setter
+    def sreg(self, value):
+        self.memory.sreg = value
+
+    def flag(self, bit):
+        return (self.sreg >> bit) & 1
+
+    def set_flag(self, bit, value):
+        if value:
+            self.memory.sreg |= 1 << bit
+        else:
+            self.memory.sreg &= ~(1 << bit) & 0xFF
+
+    def _set_zns(self, result):
+        self.set_flag(_Z, result == 0)
+        n = (result >> 7) & 1
+        self.set_flag(_N, n)
+        self.set_flag(_S, n ^ self.flag(_V))
+
+    # --- fetch/decode -------------------------------------------------------
+    def _fetch(self):
+        pc = self.pc
+        cached = self._decode_cache.get(pc)
+        if cached is not None:
+            return cached
+        w0 = self.memory.read_flash_word(pc)
+        w1 = self.memory.read_flash_word(pc + 1) \
+            if pc + 1 < self.geometry.flash_words else None
+        try:
+            instr = decode_words(w0, w1)
+        except DecodeError:
+            raise BadOpcode(pc, w0)
+        self._decode_cache[pc] = instr
+        return instr
+
+    def invalidate_decode_cache(self):
+        """Call after rewriting flash at runtime."""
+        self._decode_cache.clear()
+
+    def _instr_size_at(self, word_addr):
+        """Word size of the instruction at *word_addr* (for skips)."""
+        w0 = self.memory.read_flash_word(word_addr)
+        from repro.isa.encoding import is_32bit_opcode
+        return 2 if is_32bit_opcode(w0) else 1
+
+    # --- stack helpers -------------------------------------------------------
+    def _push_byte(self, value, kind):
+        sp = self.sp
+        extra = self.bus.write(sp, value, kind)
+        self.sp = sp - 1
+        return extra
+
+    def _pop_byte(self, kind):
+        sp = self.sp + 1
+        self.sp = sp
+        value, extra = self.bus.read(sp, kind)
+        return value, extra
+
+    def push_return_address(self, word_addr):
+        """Push a return address as the `call` family does: low byte
+        first, high byte second (the safe-stack unit redirects these two
+        transactions in the same order, completing the 5-byte frame
+        layout ``[domain][sb_lo][sb_hi][ret_lo][ret_hi]``)."""
+        extra = self._push_byte(word_addr & 0xFF, AccessKind.RET_PUSH)
+        extra += self._push_byte((word_addr >> 8) & 0xFF, AccessKind.RET_PUSH)
+        return extra
+
+    def pop_return_address(self):
+        hi, e0 = self._pop_byte(AccessKind.RET_POP)
+        lo, e1 = self._pop_byte(AccessKind.RET_POP)
+        return (hi << 8) | lo, e0 + e1
+
+    # --- execution -------------------------------------------------------------
+    def step(self):
+        """Execute one instruction; returns cycles it consumed.
+
+        Pending interrupts are taken between instructions (classic AVR
+        timing) and their response cycles are attributed to this step.
+        """
+        if self.halted:
+            return 0
+        before = self.cycles
+        if self.interrupts is not None:
+            self.cycles += self.interrupts.poll()
+        instr = self._fetch()
+        handler = getattr(self, "_exec_" + instr.key, None)
+        if handler is None:
+            raise BadOpcode(self.pc, self.memory.read_flash_word(self.pc))
+        next_pc = self.pc + instr.size_words
+        self.pc = next_pc  # handlers overwrite for control transfers
+        extra = handler(instr) or 0
+        self.cycles += instr.spec.cycles + extra
+        consumed = self.cycles - before
+        for device in self.devices:
+            device.tick(consumed)
+        return consumed
+
+    def run(self, max_cycles=1_000_000, until_pc=None):
+        """Run until halt, *until_pc* (word address) or the cycle budget.
+
+        Returns cycles consumed in this call.
+        """
+        start = self.cycles
+        while not self.halted:
+            if until_pc is not None and self.pc == until_pc:
+                break
+            self.step()
+            if self.cycles - start > max_cycles:
+                raise CycleLimitExceeded(max_cycles)
+        return self.cycles - start
+
+    # ==================== ALU: add/sub family ============================
+    def _add(self, d, r_val, carry):
+        rd = self.reg(d)
+        result = rd + r_val + carry
+        res8 = result & 0xFF
+        self.set_flag(_H, ((rd & 0xF) + (r_val & 0xF) + carry) > 0xF)
+        self.set_flag(_C, result > 0xFF)
+        v = (~(rd ^ r_val) & (rd ^ res8) & 0x80) != 0
+        self.set_flag(_V, v)
+        self._set_zns(res8)
+        self.set_reg(d, res8)
+
+    def _sub(self, d, r_val, carry, store=True, keep_z=False):
+        rd = self.reg(d)
+        result = rd - r_val - carry
+        res8 = result & 0xFF
+        self.set_flag(_H, ((rd & 0xF) - (r_val & 0xF) - carry) < 0)
+        self.set_flag(_C, result < 0)
+        v = ((rd ^ r_val) & (rd ^ res8) & 0x80) != 0
+        self.set_flag(_V, v)
+        if keep_z:
+            z_prev = self.flag(_Z)
+            self._set_zns(res8)
+            self.set_flag(_Z, (res8 == 0) and z_prev)
+            n = (res8 >> 7) & 1
+            self.set_flag(_S, n ^ self.flag(_V))
+        else:
+            self._set_zns(res8)
+        if store:
+            self.set_reg(d, res8)
+        return res8
+
+    def _exec_add(self, i):
+        self._add(i.operands[0], self.reg(i.operands[1]), 0)
+
+    def _exec_adc(self, i):
+        self._add(i.operands[0], self.reg(i.operands[1]), self.flag(_C))
+
+    def _exec_sub(self, i):
+        self._sub(i.operands[0], self.reg(i.operands[1]), 0)
+
+    def _exec_sbc(self, i):
+        self._sub(i.operands[0], self.reg(i.operands[1]), self.flag(_C),
+                  keep_z=True)
+
+    def _exec_subi(self, i):
+        self._sub(i.operands[0], i.operands[1], 0)
+
+    def _exec_sbci(self, i):
+        self._sub(i.operands[0], i.operands[1], self.flag(_C), keep_z=True)
+
+    def _exec_cp(self, i):
+        self._sub(i.operands[0], self.reg(i.operands[1]), 0, store=False)
+
+    def _exec_cpc(self, i):
+        self._sub(i.operands[0], self.reg(i.operands[1]), self.flag(_C),
+                  store=False, keep_z=True)
+
+    def _exec_cpi(self, i):
+        self._sub(i.operands[0], i.operands[1], 0, store=False)
+
+    # ==================== ALU: logic ====================================
+    def _logic(self, d, result):
+        self.set_flag(_V, 0)
+        self._set_zns(result)
+        self.set_reg(d, result)
+
+    def _exec_and(self, i):
+        self._logic(i.operands[0],
+                    self.reg(i.operands[0]) & self.reg(i.operands[1]))
+
+    def _exec_andi(self, i):
+        self._logic(i.operands[0], self.reg(i.operands[0]) & i.operands[1])
+
+    def _exec_or(self, i):
+        self._logic(i.operands[0],
+                    self.reg(i.operands[0]) | self.reg(i.operands[1]))
+
+    def _exec_ori(self, i):
+        self._logic(i.operands[0], self.reg(i.operands[0]) | i.operands[1])
+
+    def _exec_eor(self, i):
+        self._logic(i.operands[0],
+                    self.reg(i.operands[0]) ^ self.reg(i.operands[1]))
+
+    def _exec_com(self, i):
+        d = i.operands[0]
+        result = (~self.reg(d)) & 0xFF
+        self.set_flag(_C, 1)
+        self.set_flag(_V, 0)
+        self._set_zns(result)
+        self.set_reg(d, result)
+
+    def _exec_neg(self, i):
+        d = i.operands[0]
+        rd = self.reg(d)
+        result = (-rd) & 0xFF
+        self.set_flag(_H, ((result & 0x8) | (rd & 0x8)) != 0)
+        self.set_flag(_C, result != 0)
+        self.set_flag(_V, result == 0x80)
+        self._set_zns(result)
+        self.set_reg(d, result)
+
+    def _exec_inc(self, i):
+        d = i.operands[0]
+        result = (self.reg(d) + 1) & 0xFF
+        self.set_flag(_V, self.reg(d) == 0x7F)
+        self._set_zns(result)
+        self.set_reg(d, result)
+
+    def _exec_dec(self, i):
+        d = i.operands[0]
+        result = (self.reg(d) - 1) & 0xFF
+        self.set_flag(_V, self.reg(d) == 0x80)
+        self._set_zns(result)
+        self.set_reg(d, result)
+
+    def _exec_swap(self, i):
+        d = i.operands[0]
+        rd = self.reg(d)
+        self.set_reg(d, ((rd << 4) | (rd >> 4)) & 0xFF)
+
+    def _exec_asr(self, i):
+        d = i.operands[0]
+        rd = self.reg(d)
+        result = (rd >> 1) | (rd & 0x80)
+        self._shift_flags(rd, result)
+        self.set_reg(d, result)
+
+    def _exec_lsr(self, i):
+        d = i.operands[0]
+        rd = self.reg(d)
+        result = rd >> 1
+        self._shift_flags(rd, result)
+        self.set_reg(d, result)
+
+    def _exec_ror(self, i):
+        d = i.operands[0]
+        rd = self.reg(d)
+        result = (self.flag(_C) << 7) | (rd >> 1)
+        self._shift_flags(rd, result)
+        self.set_reg(d, result)
+
+    def _shift_flags(self, rd, result):
+        self.set_flag(_C, rd & 1)
+        n = (result >> 7) & 1
+        self.set_flag(_N, n)
+        self.set_flag(_V, n ^ (rd & 1))
+        self.set_flag(_Z, result == 0)
+        self.set_flag(_S, n ^ self.flag(_V))
+
+    def _exec_mov(self, i):
+        self.set_reg(i.operands[0], self.reg(i.operands[1]))
+
+    def _exec_movw(self, i):
+        self.set_reg_pair(i.operands[0], self.reg_pair(i.operands[1]))
+
+    def _exec_ldi(self, i):
+        self.set_reg(i.operands[0], i.operands[1])
+
+    def _exec_mul(self, i):
+        product = self.reg(i.operands[0]) * self.reg(i.operands[1])
+        self.set_reg_pair(0, product)
+        self.set_flag(_C, (product >> 15) & 1)
+        self.set_flag(_Z, product == 0)
+
+    def _exec_adiw(self, i):
+        d, k = i.operands
+        rd = self.reg_pair(d)
+        result = (rd + k) & 0xFFFF
+        self.set_flag(_V, (~rd & result & 0x8000) != 0)
+        self.set_flag(_C, (~result & rd & 0x8000) != 0)
+        n = (result >> 15) & 1
+        self.set_flag(_N, n)
+        self.set_flag(_Z, result == 0)
+        self.set_flag(_S, n ^ self.flag(_V))
+        self.set_reg_pair(d, result)
+
+    def _exec_sbiw(self, i):
+        d, k = i.operands
+        rd = self.reg_pair(d)
+        result = (rd - k) & 0xFFFF
+        self.set_flag(_V, (rd & ~result & 0x8000) != 0)
+        self.set_flag(_C, (result & ~rd & 0x8000) != 0)
+        n = (result >> 15) & 1
+        self.set_flag(_N, n)
+        self.set_flag(_Z, result == 0)
+        self.set_flag(_S, n ^ self.flag(_V))
+        self.set_reg_pair(d, result)
+
+    # ==================== SREG / bit ops =================================
+    def _exec_bset(self, i):
+        self.set_flag(i.operands[0], 1)
+
+    def _exec_bclr(self, i):
+        self.set_flag(i.operands[0], 0)
+
+    def _exec_bst(self, i):
+        d, b = i.operands
+        self.set_flag(_T, (self.reg(d) >> b) & 1)
+
+    def _exec_bld(self, i):
+        d, b = i.operands
+        if self.flag(_T):
+            self.set_reg(d, self.reg(d) | (1 << b))
+        else:
+            self.set_reg(d, self.reg(d) & ~(1 << b) & 0xFF)
+
+    # ==================== control transfer ================================
+    def _notify(self, event, **kw):
+        for hook in self.call_hooks:
+            hook(self, event, **kw)
+
+    def _exec_rjmp(self, i):
+        self.pc = self.pc + i.operands[0]
+
+    def _exec_jmp(self, i):
+        self.pc = i.operands[0]
+
+    def _exec_ijmp(self, i):
+        target = self.reg_pair(30)
+        extra = 0
+        for hook in self.call_hooks:
+            result = hook(self, "ijmp", target=target)
+            if result:
+                extra += result
+        self.pc = target
+        return extra
+
+    def _do_call(self, target_word):
+        ret = self.pc  # already advanced past the call
+        extra = 0
+        for hook in self.call_hooks:
+            result = hook(self, "call", target=target_word, ret=ret)
+            if result:
+                extra += result
+        extra += self.push_return_address(ret)
+        self.pc = target_word
+        return extra
+
+    def _exec_rcall(self, i):
+        return self._do_call(self.pc + i.operands[0])
+
+    def _exec_call(self, i):
+        return self._do_call(i.operands[0])
+
+    def _exec_icall(self, i):
+        return self._do_call(self.reg_pair(30))
+
+    def _exec_ret(self, i):
+        target, extra = self.pop_return_address()
+        for hook in self.call_hooks:
+            result = hook(self, "ret", target=target)
+            if result:
+                extra += result
+        self.pc = target
+        return extra
+
+    def _exec_reti(self, i):
+        extra = self._exec_ret(i)
+        self.set_flag(SREG_BITS.I, 1)
+        return extra
+
+    def _branch(self, taken, offset):
+        if taken:
+            self.pc = self.pc + offset
+            return 1
+        return 0
+
+    def _exec_brbs(self, i):
+        s, k = i.operands
+        return self._branch(self.flag(s) == 1, k)
+
+    def _exec_brbc(self, i):
+        s, k = i.operands
+        return self._branch(self.flag(s) == 0, k)
+
+    def _skip(self, condition):
+        if not condition:
+            return 0
+        size = self._instr_size_at(self.pc)
+        self.pc += size
+        return size
+
+    def _exec_cpse(self, i):
+        return self._skip(self.reg(i.operands[0]) == self.reg(i.operands[1]))
+
+    def _exec_sbrc(self, i):
+        r, b = i.operands
+        return self._skip(((self.reg(r) >> b) & 1) == 0)
+
+    def _exec_sbrs(self, i):
+        r, b = i.operands
+        return self._skip(((self.reg(r) >> b) & 1) == 1)
+
+    def _exec_sbic(self, i):
+        a, b = i.operands
+        value, extra = self.bus.read(a + 0x20, AccessKind.IO_READ)
+        return self._skip(((value >> b) & 1) == 0) + extra
+
+    def _exec_sbis(self, i):
+        a, b = i.operands
+        value, extra = self.bus.read(a + 0x20, AccessKind.IO_READ)
+        return self._skip(((value >> b) & 1) == 1) + extra
+
+    # ==================== loads/stores ======================================
+    def _pointer(self, spec):
+        return _PTR_REG[spec.modes["ptr"]]
+
+    def _effective_addr(self, instr):
+        """Resolve the address of a ld/st variant, applying inc/dec."""
+        spec = instr.spec
+        preg = self._pointer(spec)
+        ptr = self.reg_pair(preg)
+        if spec.modes.get("pre_dec"):
+            ptr = (ptr - 1) & 0xFFFF
+            self.set_reg_pair(preg, ptr)
+            return ptr
+        if spec.modes.get("post_inc"):
+            self.set_reg_pair(preg, (ptr + 1) & 0xFFFF)
+            return ptr
+        if spec.modes.get("disp"):
+            return (ptr + instr.operand("q")) & 0xFFFF
+        return ptr
+
+    def _load(self, d, addr):
+        value, extra = self.bus.read(addr, AccessKind.DATA_LOAD)
+        self.set_reg(d, value)
+        return extra
+
+    def _store(self, addr, r):
+        return self.bus.write(addr, self.reg(r), AccessKind.DATA_STORE)
+
+    def _exec_lds(self, i):
+        return self._load(i.operands[0], i.operands[1])
+
+    def _exec_sts(self, i):
+        return self._store(i.operands[0], i.operands[1])
+
+    def _exec_push(self, i):
+        return self._push_byte(self.reg(i.operands[0]),
+                               AccessKind.STACK_PUSH)
+
+    def _exec_pop(self, i):
+        value, extra = self._pop_byte(AccessKind.STACK_POP)
+        self.set_reg(i.operands[0], value)
+        return extra
+
+    def _exec_in(self, i):
+        d, a = i.operands
+        value, extra = self.bus.read(a + 0x20, AccessKind.IO_READ)
+        self.set_reg(d, value)
+        return extra
+
+    def _exec_out(self, i):
+        a, r = i.operands
+        return self.bus.write(a + 0x20, self.reg(r), AccessKind.IO_WRITE)
+
+    def _exec_sbi(self, i):
+        a, b = i.operands
+        value, e0 = self.bus.read(a + 0x20, AccessKind.IO_READ)
+        e1 = self.bus.write(a + 0x20, value | (1 << b), AccessKind.IO_WRITE)
+        return e0 + e1
+
+    def _exec_cbi(self, i):
+        a, b = i.operands
+        value, e0 = self.bus.read(a + 0x20, AccessKind.IO_READ)
+        e1 = self.bus.write(a + 0x20, value & ~(1 << b) & 0xFF,
+                            AccessKind.IO_WRITE)
+        return e0 + e1
+
+    def _exec_lpm_r0(self, i):
+        self.set_reg(0, self.memory.read_flash_byte(self.reg_pair(30)))
+
+    def _exec_lpm(self, i):
+        self.set_reg(i.operands[0],
+                     self.memory.read_flash_byte(self.reg_pair(30)))
+
+    def _exec_lpm_zp(self, i):
+        z = self.reg_pair(30)
+        self.set_reg(i.operands[0], self.memory.read_flash_byte(z))
+        self.set_reg_pair(30, (z + 1) & 0xFFFF)
+
+    def _rampz_addr(self):
+        rampz = self.memory.read_data(IoReg.RAMPZ + 0x20) & 1
+        return (rampz << 16) | self.reg_pair(30)
+
+    def _exec_elpm_r0(self, i):
+        self.set_reg(0, self.memory.read_flash_byte(self._rampz_addr()))
+
+    def _exec_elpm(self, i):
+        self.set_reg(i.operands[0],
+                     self.memory.read_flash_byte(self._rampz_addr()))
+
+    def _exec_elpm_zp(self, i):
+        addr = self._rampz_addr()
+        self.set_reg(i.operands[0], self.memory.read_flash_byte(addr))
+        addr += 1
+        self.memory.write_data(IoReg.RAMPZ + 0x20, (addr >> 16) & 1)
+        self.set_reg_pair(30, addr & 0xFFFF)
+
+    # ==================== MCU ====================================================
+    def _exec_nop(self, i):
+        pass
+
+    def _exec_sleep(self, i):
+        pass
+
+    def _exec_wdr(self, i):
+        pass
+
+    def _exec_break(self, i):
+        self.halted = True
+
+
+# generate ld/st variant handlers (they only differ in addressing mode,
+# which _effective_addr resolves from the spec)
+def _make_ld(key):
+    def handler(self, i):
+        return self._load(i.operands[0], self._effective_addr(i))
+    handler.__name__ = "_exec_" + key
+    return handler
+
+
+def _make_st(key):
+    def handler(self, i):
+        # value register is the last operand for st/std
+        return self._store(self._effective_addr(i), i.operands[-1])
+    handler.__name__ = "_exec_" + key
+    return handler
+
+
+for _key in ("ld_x", "ld_xp", "ld_mx", "ld_yp", "ld_my", "ld_zp", "ld_mz",
+             "ldd_y", "ldd_z"):
+    setattr(AvrCore, "_exec_" + _key, _make_ld(_key))
+for _key in ("st_x", "st_xp", "st_mx", "st_yp", "st_my", "st_zp", "st_mz",
+             "std_y", "std_z"):
+    setattr(AvrCore, "_exec_" + _key, _make_st(_key))

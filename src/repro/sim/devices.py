@@ -1,0 +1,69 @@
+"""Simple peripherals for the simulated node.
+
+Only what the workloads need: a periodic timer that raises an interrupt
+line (the heartbeat that drives SOS's timer messages), and a trivial
+output port that collects bytes the program writes (a stand-in for the
+UART/radio the examples "send" packets to).
+
+Devices are ticked with elapsed cycles by the machine's run helpers;
+they do not stall the CPU.
+"""
+
+from repro.sim.events import AccessKind
+
+
+class PeriodicTimer:
+    """Raises IRQ *line* every *period* CPU cycles.
+
+    Attach with :meth:`install`; the machine ticks it from ``step``.
+    """
+
+    def __init__(self, interrupts, line=1, period=1000):
+        if period <= 0:
+            raise ValueError("timer period must be positive")
+        self.interrupts = interrupts
+        self.line = line
+        self.period = period
+        self._accumulated = 0
+        self.fired = 0
+        self.enabled = True
+
+    def tick(self, cycles):
+        if not self.enabled:
+            return
+        self._accumulated += cycles
+        while self._accumulated >= self.period:
+            self._accumulated -= self.period
+            self.interrupts.raise_irq(self.line)
+            self.fired += 1
+
+    def install(self, core):
+        core.devices.append(self)
+        return self
+
+
+class OutputPort:
+    """An I/O-mapped byte sink: every write is recorded in order.
+
+    Models the 'transmit register' of a UART/radio: the examples write
+    packet bytes here and the host reads them back as the 'airwaves'.
+    """
+
+    def __init__(self, io_addr):
+        self.io_addr = io_addr
+        self.bytes = bytearray()
+
+    def attach(self, memory):
+        memory.io_devices[self.io_addr + 0x20] = self
+        return self
+
+    def io_read(self, data_addr):
+        return len(self.bytes) & 0xFF  # a 'tx count' status
+
+    def io_write(self, data_addr, value):
+        self.bytes.append(value & 0xFF)
+
+    def take(self):
+        data = bytes(self.bytes)
+        self.bytes.clear()
+        return data

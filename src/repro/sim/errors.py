@@ -1,0 +1,39 @@
+"""Simulator error types.
+
+Protection faults raised by the Harbor/UMPU checking machinery derive
+from :class:`repro.core.faults.ProtectionFault`; the types here are
+faults of the *simulation substrate itself* (bad opcodes, runaway
+programs), which would be hardware exceptions or bugs on a real part.
+"""
+
+
+class SimError(Exception):
+    """Base class for simulator errors."""
+
+
+class BadOpcode(SimError):
+    """The PC reached a word that does not decode to an instruction."""
+
+    def __init__(self, pc_word, word):
+        self.pc_word = pc_word
+        self.word = word
+        super().__init__(
+            "undecodable word 0x{:04x} at pc 0x{:05x}".format(
+                word, pc_word * 2))
+
+
+class CycleLimitExceeded(SimError):
+    """The run exceeded its cycle budget (runaway program guard)."""
+
+    def __init__(self, limit):
+        self.limit = limit
+        super().__init__("exceeded cycle limit of {}".format(limit))
+
+
+class InvalidAccess(SimError):
+    """A data-space access fell outside the part's address space."""
+
+    def __init__(self, addr):
+        self.addr = addr
+        super().__init__("data access outside address space: 0x{:04x}"
+                         .format(addr))

@@ -1,0 +1,63 @@
+"""Interrupt controller for the simulated AVR core.
+
+Classic AVR semantics: peripherals raise numbered interrupt lines; when
+the global I flag is set, the highest-priority (lowest-numbered) pending
+interrupt is taken between instructions — the return address is pushed,
+I is cleared, and execution continues at the vector (vector *n* lives at
+flash word ``n * vector_stride``).  ``reti`` returns and re-enables I.
+
+Protection interaction (Harbor/UMPU): interrupt handlers are kernel
+code, i.e. they run in the *trusted* domain regardless of which domain
+was interrupted.  The domain tracker observes the ``irq``/``reti``
+events the core emits and swaps the domain exactly like a cross-domain
+call (frame on the safe stack, restored on ``reti``) — otherwise a
+module's domain would leak into the kernel's interrupt handlers, or
+worse, a handler's stores would be checked against module ownership.
+"""
+
+from repro.isa.registers import SREG_BITS
+
+
+class InterruptController:
+    """Pending-line bookkeeping + vectoring, attached to a core."""
+
+    def __init__(self, core, nvectors=16, vector_stride_words=2):
+        self.core = core
+        self.nvectors = nvectors
+        self.vector_stride_words = vector_stride_words
+        self.pending = set()
+        self.taken = 0
+        core.interrupts = self
+
+    def raise_irq(self, line):
+        """A peripheral asserts interrupt *line* (0 = highest prio)."""
+        if not 0 <= line < self.nvectors:
+            raise ValueError("no interrupt line {}".format(line))
+        self.pending.add(line)
+
+    def vector_word(self, line):
+        return line * self.vector_stride_words
+
+    # called by the core between instructions
+    def poll(self):
+        """Take the highest-priority pending interrupt if I is set.
+
+        Returns the cycles consumed (0 when nothing was taken).
+        """
+        core = self.core
+        if not self.pending or not core.flag(SREG_BITS.I):
+            return 0
+        line = min(self.pending)
+        self.pending.discard(line)
+        self.taken += 1
+        extra = 0
+        for hook in core.call_hooks:
+            result = hook(core, "irq", line=line,
+                          target=self.vector_word(line))
+            if result:
+                extra += result
+        extra += core.push_return_address(core.pc)
+        core.set_flag(SREG_BITS.I, 0)
+        core.pc = self.vector_word(line)
+        # interrupt response time on AVR: four clock cycles minimum
+        return 4 + extra

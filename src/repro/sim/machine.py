@@ -1,0 +1,130 @@
+"""Top-level simulation harness: program + memory + bus + core.
+
+:class:`Machine` is what tests, benchmarks and the OS substrate use:
+it loads an assembled :class:`~repro.asm.Program`, wires up the bus and
+exposes call-level helpers (set up arguments, call a label, measure the
+cycles it took) following the avr-gcc calling convention used by the
+Harbor runtime:
+
+* 8-bit args in r24, r22, r20, ...; 16-bit args in r25:r24, r23:r22, ...
+* 8/16-bit results in r24 / r25:r24
+* r18-r27, r30, r31 caller-saved; r2-r17, r28, r29 callee-saved
+"""
+
+from repro.asm.program import Program
+from repro.isa.registers import ATMEGA103
+from repro.sim.core import AvrCore
+from repro.sim.bus import DataBus
+from repro.sim.events import BusTracer
+from repro.sim.memory import Memory
+
+#: Sentinel return address (word addr) used by Machine.call: running code
+#: returns here, which the run loop treats as completion.  It lies in the
+#: last flash words, far from any program.
+CALL_SENTINEL_WORD = 0xFFFE
+
+
+class Machine:
+    """A simulated AVR node running one flash image."""
+
+    def __init__(self, program=None, geometry=ATMEGA103):
+        self.geometry = geometry
+        self.memory = Memory(geometry)
+        self.bus = DataBus(self.memory)
+        self.core = AvrCore(self.memory, self.bus, geometry)
+        self.program = None
+        if program is not None:
+            self.load(program)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def load(self, program):
+        """Load an assembled program into flash."""
+        if not isinstance(program, Program):
+            raise TypeError("expected an assembled Program")
+        self.program = program
+        self.memory.load_program(program)
+        self.core.invalidate_decode_cache()
+        return self
+
+    def reset(self, sp=None):
+        """Reset CPU state: PC=0, SP=RAMEND (or *sp*), SREG=0."""
+        self.core.pc = 0
+        self.core.halted = False
+        self.memory.sp = self.geometry.ramend if sp is None else sp
+        self.memory.sreg = 0
+        return self
+
+    def attach_tracer(self, limit=100000):
+        tracer = BusTracer(limit)
+        self.bus.tracer = tracer
+        return tracer
+
+    # ------------------------------------------------------------------
+    def resolve(self, target):
+        """Resolve *target* (label name or byte address) to a byte addr."""
+        if isinstance(target, str):
+            if self.program is None:
+                raise ValueError("no program loaded")
+            return self.program.symbol(target)
+        return target
+
+    # --- ABI helpers -----------------------------------------------------
+    def set_args(self, *args):
+        """Place *args* in registers per the calling convention.
+
+        Each arg is either an int (16-bit slot) or ``("u8", value)`` for
+        an 8-bit slot.  Slots are r25:r24 downward, two registers each.
+        """
+        reg = 24
+        for arg in args:
+            if reg < 8:
+                raise ValueError("too many register arguments")
+            if isinstance(arg, tuple) and arg[0] == "u8":
+                self.core.set_reg(reg, arg[1] & 0xFF)
+                self.core.set_reg(reg + 1, 0)
+            else:
+                self.core.set_reg_pair(reg, arg & 0xFFFF)
+            reg -= 2
+        return self
+
+    def result16(self):
+        return self.core.reg_pair(24)
+
+    def result8(self):
+        return self.core.reg(24)
+
+    # ------------------------------------------------------------------
+    def call(self, target, *args, max_cycles=1_000_000):
+        """Call subroutine *target* and run it to completion.
+
+        Sets up arguments, pushes a sentinel return address, runs until
+        the subroutine returns (PC reaches the sentinel) and returns the
+        number of cycles consumed (including the final ``ret``).
+        """
+        self.set_args(*args)
+        byte_addr = self.resolve(target)
+        self.core.push_return_address(CALL_SENTINEL_WORD)
+        self.core.pc = byte_addr // 2
+        start = self.core.cycles
+        self.core.run(max_cycles=max_cycles, until_pc=CALL_SENTINEL_WORD)
+        return self.core.cycles - start
+
+    def run(self, entry=None, max_cycles=1_000_000):
+        """Run from *entry* (default: current PC) until halt (`break`)."""
+        if entry is not None:
+            self.core.pc = self.resolve(entry) // 2
+        return self.core.run(max_cycles=max_cycles)
+
+    # --- memory inspection helpers ------------------------------------------
+    def read_bytes(self, addr, n):
+        return bytes(self.memory.read_data(addr + i) for i in range(n))
+
+    def write_bytes(self, addr, data):
+        self.memory.fill_data(addr, data)
+
+    def read_word(self, addr):
+        return self.memory.read_word_data(addr)
+
+    def write_word(self, addr, value):
+        self.memory.write_word_data(addr, value)

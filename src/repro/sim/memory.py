@@ -1,0 +1,98 @@
+"""Raw memory model: unified data space (registers + I/O + SRAM) and flash.
+
+This layer has no protection logic; it is the physical memory array the
+bus and the functional units operate on.  The AVR maps its 32 registers
+and 64 I/O registers into the bottom of the data space, which is why a
+single byte array covers everything from r0 to RAMEND.
+"""
+
+from repro.isa.registers import ATMEGA103, IoReg
+from repro.sim.errors import InvalidAccess
+
+
+class Memory:
+    """Physical memory of the part: data space bytes + flash words."""
+
+    def __init__(self, geometry=ATMEGA103):
+        self.geometry = geometry
+        self.data = bytearray(geometry.data_end + 1)
+        self.flash = [0xFFFF] * geometry.flash_words
+        #: data-space address -> device; devices observe/override the raw
+        #: byte at that address (used for the UMPU configuration
+        #: registers, which live in the I/O window).
+        self.io_devices = {}
+
+    # --- data space --------------------------------------------------
+    def read_data(self, addr):
+        if not 0 <= addr <= self.geometry.data_end:
+            raise InvalidAccess(addr)
+        return self.data[addr]
+
+    def write_data(self, addr, value):
+        if not 0 <= addr <= self.geometry.data_end:
+            raise InvalidAccess(addr)
+        self.data[addr] = value & 0xFF
+
+    def read_word_data(self, addr):
+        """Little-endian 16-bit read (low byte at *addr*)."""
+        return self.read_data(addr) | (self.read_data(addr + 1) << 8)
+
+    def write_word_data(self, addr, value):
+        self.write_data(addr, value & 0xFF)
+        self.write_data(addr + 1, (value >> 8) & 0xFF)
+
+    def fill_data(self, addr, data):
+        """Bulk-load *data* bytes starting at data address *addr*."""
+        for i, b in enumerate(data):
+            self.write_data(addr + i, b)
+
+    # --- register file ------------------------------------------------
+    def reg(self, n):
+        return self.data[n]
+
+    def set_reg(self, n, value):
+        self.data[n] = value & 0xFF
+
+    def reg_pair(self, n):
+        return self.data[n] | (self.data[n + 1] << 8)
+
+    def set_reg_pair(self, n, value):
+        self.data[n] = value & 0xFF
+        self.data[n + 1] = (value >> 8) & 0xFF
+
+    # --- named I/O ------------------------------------------------------
+    @property
+    def sp(self):
+        return self.reg_pair(IoReg.SPL + 0x20)
+
+    @sp.setter
+    def sp(self, value):
+        self.set_reg_pair(IoReg.SPL + 0x20, value)
+
+    @property
+    def sreg(self):
+        return self.data[IoReg.SREG + 0x20]
+
+    @sreg.setter
+    def sreg(self, value):
+        self.data[IoReg.SREG + 0x20] = value & 0xFF
+
+    # --- flash -----------------------------------------------------------
+    def read_flash_word(self, word_addr):
+        if not 0 <= word_addr < len(self.flash):
+            raise InvalidAccess(word_addr * 2)
+        return self.flash[word_addr]
+
+    def write_flash_word(self, word_addr, value):
+        if not 0 <= word_addr < len(self.flash):
+            raise InvalidAccess(word_addr * 2)
+        self.flash[word_addr] = value & 0xFFFF
+
+    def read_flash_byte(self, byte_addr):
+        word = self.read_flash_word(byte_addr >> 1)
+        return (word >> 8) & 0xFF if byte_addr & 1 else word & 0xFF
+
+    def load_program(self, program):
+        """Copy an assembled :class:`repro.asm.Program` into flash."""
+        for word_addr, value in program.words.items():
+            self.write_flash_word(word_addr, value)

@@ -1,0 +1,76 @@
+"""Mini SOS operating-system substrate.
+
+A behavioural model of the SOS sensor OS the paper evaluates on:
+dynamically loadable modules in protection domains, message dispatch
+with payload ownership transfer, function export/subscription with
+cross-domain calls, and the cross-domain linker that builds the flash
+jump tables for the two cycle-accurate systems.
+"""
+
+from repro.sos.kernel import FaultLog, ModuleContext, SosKernel
+from repro.sos.linker import CrossDomainLinker, ExportRecord
+from repro.sos.machine_kernel import (
+    MachineFaultLog,
+    MachineKernel,
+    MachineModuleRecord,
+)
+from repro.sos.network import (
+    DeliveredPacket,
+    NetworkNode,
+    SensorNetwork,
+)
+from repro.sos.messaging import (
+    KERNEL_PID,
+    MSG_DATA_READY,
+    MSG_ERROR,
+    MSG_FINAL,
+    MSG_INIT,
+    MSG_PKT_SEND,
+    MSG_PKT_SENT,
+    MSG_TIMER_TIMEOUT,
+    Message,
+    MessageQueue,
+    SOS_ERROR,
+)
+from repro.sos.module import (
+    ExportedFunction,
+    ModuleRecord,
+    SosModule,
+    Subscription,
+)
+from repro.sos.surge import FixedSurgeModule, SURGE_PKT_BYTES, SurgeModule
+from repro.sos.tree_routing import TREE_ROUTING_HDR_SIZE, TreeRoutingModule
+
+__all__ = [
+    "FaultLog",
+    "ModuleContext",
+    "SosKernel",
+    "CrossDomainLinker",
+    "ExportRecord",
+    "MachineFaultLog",
+    "MachineKernel",
+    "MachineModuleRecord",
+    "DeliveredPacket",
+    "NetworkNode",
+    "SensorNetwork",
+    "KERNEL_PID",
+    "MSG_DATA_READY",
+    "MSG_ERROR",
+    "MSG_FINAL",
+    "MSG_INIT",
+    "MSG_PKT_SEND",
+    "MSG_PKT_SENT",
+    "MSG_TIMER_TIMEOUT",
+    "Message",
+    "MessageQueue",
+    "SOS_ERROR",
+    "ExportedFunction",
+    "ModuleRecord",
+    "SosModule",
+    "Subscription",
+    "FixedSurgeModule",
+    "SURGE_PKT_BYTES",
+    "SurgeModule",
+    "TREE_ROUTING_HDR_SIZE",
+    "TreeRoutingModule",
+]

@@ -1,0 +1,76 @@
+"""SOS-style messaging (substrate for the paper's workload).
+
+SOS modules interact by exchanging asynchronous messages dispatched by
+a cooperative scheduler; message payloads are heap buffers whose
+*ownership moves with the message* (``change_own`` — the reason the
+paper's memory map tracks ownership at block granularity rather than
+statically partitioning the address space).
+"""
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+# well-known message types (mirroring SOS)
+MSG_INIT = 1
+MSG_FINAL = 2
+MSG_TIMER_TIMEOUT = 3
+MSG_DATA_READY = 4
+MSG_PKT_SEND = 5
+MSG_PKT_SENT = 6
+MSG_ERROR = 7
+
+#: the SOS error sentinel a failed cross-domain call yields; using it
+#: unchecked is the Surge bug the paper's Harbor deployment caught.
+SOS_ERROR = 0xFF
+
+KERNEL_PID = "kernel"
+
+
+@dataclass
+class Message:
+    """One message in flight."""
+
+    src: str
+    dst: str
+    mtype: int
+    payload: int = None      # heap address of the payload buffer (or None)
+    length: int = 0
+    data: dict = field(default_factory=dict)  # host-level metadata
+    seq: int = field(default_factory=itertools.count().__next__)
+
+    def __str__(self):
+        return "Message({}->{} type={} len={})".format(
+            self.src, self.dst, self.mtype, self.length)
+
+
+class MessageQueue:
+    """FIFO scheduler queue with simple accounting."""
+
+    def __init__(self, capacity=64):
+        self.capacity = capacity
+        self._queue = deque()
+        self.posted = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    def post(self, message):
+        """Enqueue; returns False (drop) when full, like SOS does."""
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(message)
+        self.posted += 1
+        return True
+
+    def take(self):
+        if not self._queue:
+            return None
+        self.delivered += 1
+        return self._queue.popleft()
+
+    def __len__(self):
+        return len(self._queue)
+
+    def pending_for(self, dst):
+        return sum(1 for m in self._queue if m.dst == dst)

@@ -1,0 +1,86 @@
+"""Loadable module abstraction (behavioural level).
+
+An SOS module is a dynamically loadable unit of application code.  Here
+a module is a Python class whose handlers run *inside its protection
+domain*: every store it performs through its :class:`ModuleContext`
+passes the Harbor write checker, and every call to another module's
+function is a cross-domain call through the kernel's function registry.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sos.messaging import SOS_ERROR
+
+
+class SosModule:
+    """Base class for behavioural SOS modules.
+
+    Subclasses override the handlers; all interaction with the node
+    (memory, messages, other modules) goes through the
+    :class:`ModuleContext` the kernel passes in, which enforces the
+    protection model.
+    """
+
+    name = "module"
+
+    def init(self, ctx):
+        """MSG_INIT handler: subscribe functions, allocate state."""
+
+    def final(self, ctx):
+        """MSG_FINAL handler: release what ``free``-ing the domain's
+        memory does not already cover."""
+
+    def handle_message(self, ctx, msg):
+        """Any other message."""
+
+
+@dataclass
+class ExportedFunction:
+    provider: str
+    name: str
+    fn: object           # callable(ctx, *args)
+    jt_entry: int = None  # jump-table entry address (behavioural mirror)
+
+
+@dataclass
+class Subscription:
+    """A module's handle on another module's exported function.
+
+    Calling it performs a cross-domain call.  If the provider is not
+    loaded (the paper's "Surge module is loaded on a node before the
+    Tree routing module"), the call *fails* and yields the SOS error
+    code — which the subscriber must check; forgetting to is the bug
+    Harbor caught in deployment.
+    """
+
+    kernel: object
+    subscriber: str
+    provider: str
+    fn_name: str
+    calls: int = 0
+    failures: int = 0
+
+    def __call__(self, *args):
+        self.calls += 1
+        result = self.kernel.cross_domain_invoke(
+            self.subscriber, self.provider, self.fn_name, *args)
+        if result is SOS_ERROR:
+            self.failures += 1
+        return result
+
+    @property
+    def linked(self):
+        return self.kernel.is_exported(self.provider, self.fn_name)
+
+
+@dataclass
+class ModuleRecord:
+    """Kernel bookkeeping for one loaded module."""
+
+    module: SosModule
+    domain: object                 # repro.core.domains.Domain
+    state: str = "loaded"          # loaded | crashed | unloaded
+    exports: dict = field(default_factory=dict)
+    subscriptions: list = field(default_factory=list)
+    messages_handled: int = 0
+    faults: int = 0

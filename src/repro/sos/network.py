@@ -1,0 +1,175 @@
+"""Multi-node sensor network simulation (behavioural).
+
+The paper motivates Harbor with sensor-network deployments: "bugs in any
+part of the software can easily bring down an entire network", and the
+Surge bug "would cause some of the nodes in the network to crash".  This
+module wires several behavioural SOS nodes into a collection tree so
+those claims run end to end: Surge samples on leaf nodes, Tree routing
+forwards hop by hop toward the sink, and a crashing (or protected)
+module's effect on *network-level* data yield is measurable.
+
+The radio is ideal (lossless, instantaneous); the interesting failures
+here are software ones, as in the paper.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sos.kernel import SosKernel
+from repro.sos.messaging import KERNEL_PID, MSG_PKT_SEND, Message
+from repro.sos.surge import SurgeModule
+from repro.sos.tree_routing import TreeRoutingModule
+
+
+@dataclass
+class DeliveredPacket:
+    """A packet that arrived at the sink."""
+
+    origin: int       # node id of the sample's source
+    hops: int
+    frame: bytes
+
+
+@dataclass
+class NetworkNode:
+    node_id: int
+    kernel: SosKernel
+    parent: int = None    # next hop toward the sink (None = unrooted)
+    is_sink: bool = False
+    neighbors: set = field(default_factory=set)
+
+    @property
+    def tree(self):
+        record = self.kernel.modules.get("tree_routing")
+        return record.module if record else None
+
+
+class SensorNetwork:
+    """A static multi-hop collection network of SOS nodes."""
+
+    def __init__(self, protected=True):
+        self.protected = protected
+        self.nodes = {}
+        self.sink_id = None
+        self.delivered = []
+        self._in_flight = deque()
+
+    # --- topology ------------------------------------------------------
+    def add_node(self, node_id, sensor_series=()):
+        kernel = SosKernel(protected=self.protected)
+        if sensor_series:
+            kernel.set_sensor_series(sensor_series)
+        node = NetworkNode(node_id, kernel)
+        self.nodes[node_id] = node
+        return node
+
+    def link(self, a, b):
+        self.nodes[a].neighbors.add(b)
+        self.nodes[b].neighbors.add(a)
+
+    def build_tree(self, sink_id):
+        """BFS from the sink: every node learns its parent (next hop)."""
+        self.sink_id = sink_id
+        sink = self.nodes[sink_id]
+        sink.is_sink = True
+        sink.parent = None
+        visited = {sink_id}
+        frontier = deque([sink_id])
+        while frontier:
+            here = frontier.popleft()
+            for neighbor in sorted(self.nodes[here].neighbors):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    self.nodes[neighbor].parent = here
+                    frontier.append(neighbor)
+        return visited
+
+    # --- software deployment ----------------------------------------------
+    def install_collection(self, surge_cls=SurgeModule):
+        """Load Tree routing everywhere and Surge on non-sink nodes.
+
+        A node with a parent (or the sink itself) has a route; unrooted
+        nodes' tree_routing reports no route — the Surge failure mode.
+        """
+        for node in self.nodes.values():
+            has_route = node.is_sink or node.parent is not None
+            node.kernel.load_module(TreeRoutingModule(
+                has_parent=has_route))
+            if not node.is_sink:
+                node.kernel.load_module(surge_cls())
+
+    # --- traffic --------------------------------------------------------------
+    def sample_all(self):
+        """Fire one timer tick at every Surge instance."""
+        for node in self.nodes.values():
+            if "surge" in node.kernel.modules:
+                node.kernel.post_timer("surge")
+
+    def step(self):
+        """Run every kernel to quiescence, then move radio frames one
+        hop.  Returns the number of frames moved."""
+        for node in self.nodes.values():
+            node.kernel.run(max_messages=50)
+        moved = 0
+        for node in self.nodes.values():
+            for entry in node.kernel.radio_log:
+                self._in_flight.append((node.node_id, entry))
+                moved += 1
+            node.kernel.radio_log.clear()
+        while self._in_flight:
+            src_id, entry = self._in_flight.popleft()
+            self._forward(src_id, entry)
+        return moved
+
+    def _forward(self, src_id, entry):
+        src = self.nodes[src_id]
+        if src.parent is None and not src.is_sink:
+            return  # unrooted node: the frame is lost
+        dst_id = src.parent if not src.is_sink else None
+        frame = entry.get("frame", b"")
+        hops = entry.get("hops", 0) + 1
+        if dst_id is None:
+            return
+        dst = self.nodes[dst_id]
+        if dst.is_sink:
+            self.delivered.append(DeliveredPacket(
+                origin=entry.get("origin", 0), hops=hops, frame=frame))
+            return
+        # re-inject on the next hop: the kernel allocates a fresh buffer,
+        # copies the frame, and hands it to tree_routing
+        kernel = dst.kernel
+        tree = kernel.modules.get("tree_routing")
+        if tree is None or tree.state != "loaded":
+            return  # crashed relay: the frame is lost
+        payload = kernel.harbor.malloc(max(len(frame), 1),
+                                       kernel.harbor.domains.trusted)
+        if payload is None:
+            return
+        for i, byte in enumerate(frame):
+            kernel.harbor.store_unchecked(payload + i, byte)
+        message = Message(KERNEL_PID, "tree_routing", MSG_PKT_SEND,
+                          payload=payload, length=len(frame),
+                          data={"origin": entry.get("origin", 0),
+                                "hops": hops})
+        kernel.post(message)
+
+    def run(self, rounds=4):
+        """Enough steps for frames to cross the network diameter."""
+        for _ in range(rounds):
+            self.step()
+        return len(self.delivered)
+
+    # --- reporting -----------------------------------------------------------
+    def fault_report(self):
+        return {node_id: [str(log.fault) for log in node.kernel.fault_log]
+                for node_id, node in self.nodes.items()
+                if node.kernel.fault_log}
+
+    def crashed_modules(self):
+        out = {}
+        for node_id, node in self.nodes.items():
+            crashed = [name for name, rec in node.kernel.modules.items()
+                       if rec.state == "crashed"]
+            if crashed:
+                out[node_id] = crashed
+        return out

@@ -1,0 +1,76 @@
+"""Surge data-collection module, with the bug Harbor caught (paper §1.2).
+
+"A common programming mistake in SOS is to forget to check the error
+code returned by a cross-domain function call.  In the Surge data
+collection module, under certain conditions, the invalid result of a
+failed function call to the Tree routing module was being used to
+determine an offset into a buffer.  Subsequently, the data was being
+written to an incorrect memory location, which would cause some of the
+nodes in the network to crash.  Harbor was successfully able to prevent
+the corruption and signal the invalid access."
+
+``SurgeModule`` reproduces the buggy control flow faithfully: on each
+timer tick it samples the sensor, allocates a packet, asks tree routing
+for the header size **without checking for the error code**, and writes
+the sample at ``packet + hdr_size``.  When tree routing answered
+``SOS_ERROR`` (0xFF), the store lands ~255 bytes past the packet — in
+somebody else's domain.  ``FixedSurgeModule`` is the corrected version.
+"""
+
+from repro.sos.messaging import (
+    MSG_PKT_SEND,
+    MSG_TIMER_TIMEOUT,
+    SOS_ERROR,
+)
+from repro.sos.module import SosModule
+
+SURGE_PKT_BYTES = 16
+
+
+class SurgeModule(SosModule):
+    """Periodic data collection with the unchecked-error-code bug."""
+
+    name = "surge"
+    check_error_code = False  # the bug
+
+    def __init__(self):
+        self.get_hdr_size = None
+        self.samples = 0
+        self.sent = 0
+        self.skipped = 0
+
+    def init(self, ctx):
+        # subscribe to tree routing's exported function; if tree routing
+        # is not loaded yet, calls will fail at run time
+        self.get_hdr_size = ctx.subscribe("tree_routing", "get_hdr_size")
+
+    def handle_message(self, ctx, msg):
+        if msg.mtype != MSG_TIMER_TIMEOUT:
+            return
+        self.samples += 1
+        value = self._sample(ctx)
+        packet = ctx.malloc(SURGE_PKT_BYTES)
+        if packet is None:
+            return
+        hdr = self.get_hdr_size()
+        if self.check_error_code and hdr == SOS_ERROR:
+            ctx.free(packet)
+            self.skipped += 1
+            return
+        # BUG (when check_error_code is False): hdr may be SOS_ERROR
+        # (0xFF); the store below then lands far outside the packet.
+        ctx.store(packet + hdr, value)
+        ctx.store(packet + hdr + 1, self.samples & 0xFF)
+        ctx.post("tree_routing", MSG_PKT_SEND, payload=packet,
+                 length=SURGE_PKT_BYTES, origin=value)
+        self.sent += 1
+
+    def _sample(self, ctx):
+        return ctx._kernel.sensor_read()
+
+
+class FixedSurgeModule(SurgeModule):
+    """Surge with the error code checked (the correct behaviour)."""
+
+    name = "surge"
+    check_error_code = True

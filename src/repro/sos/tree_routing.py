@@ -1,0 +1,61 @@
+"""Tree-routing module (the provider side of the paper's anecdote).
+
+Models the SOS Tree Routing module~[woo03surge] far enough to exercise
+the protection mechanism: it maintains a parent link and a routing
+header, exports ``get_hdr_size`` (the function Surge calls across
+domains) and forwards data packets toward the sink.
+"""
+
+from repro.sos.messaging import MSG_PKT_SEND, SOS_ERROR
+from repro.sos.module import SosModule
+
+#: bytes of routing header the module prepends to payloads
+TREE_ROUTING_HDR_SIZE = 7
+
+
+class TreeRoutingModule(SosModule):
+    """Maintains the routing tree; exports the header-size query."""
+
+    name = "tree_routing"
+
+    def __init__(self, has_parent=True):
+        self.has_parent = has_parent
+        self.state_addr = None
+        self.forwarded = 0
+
+    # --- handlers -----------------------------------------------------
+    def init(self, ctx):
+        # a little routing state in our own domain: parent id, seq no
+        self.state_addr = ctx.malloc(8)
+        ctx.store(self.state_addr, 1 if self.has_parent else 0)
+        ctx.store(self.state_addr + 1, 0)  # sequence number
+        ctx.register_function("get_hdr_size", self._get_hdr_size)
+
+    def _get_hdr_size(self, ctx, *_args):
+        """Exported: header bytes callers must reserve.
+
+        Returns the SOS error code when the node has no route yet —
+        exactly the failure mode whose unchecked result broke Surge.
+        """
+        if not ctx.load(self.state_addr):
+            return SOS_ERROR
+        return TREE_ROUTING_HDR_SIZE
+
+    def handle_message(self, ctx, msg):
+        if msg.mtype != MSG_PKT_SEND or msg.payload is None:
+            return
+        # stamp the routing header (bytes 0..6 of the packet we now own)
+        seq = ctx.load(self.state_addr + 1)
+        ctx.store(self.state_addr + 1, (seq + 1) & 0xFF)
+        ctx.store(msg.payload, 0x7E)              # frame marker
+        ctx.store(msg.payload + 1, seq)           # sequence
+        ctx.store(msg.payload + 2, msg.data.get("origin", 0) & 0xFF)
+        self.forwarded += 1
+        # snapshot the bytes for the radio before releasing the buffer
+        frame = bytes(ctx.load(msg.payload + i)
+                      for i in range(msg.length))
+        ctx.post_net(MSG_PKT_SEND, payload=msg.payload,
+                     length=msg.length, seq=seq,
+                     origin=msg.data.get("origin", 0),
+                     hops=msg.data.get("hops", 0), frame=frame)
+        ctx.free(msg.payload)

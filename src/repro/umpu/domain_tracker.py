@@ -1,0 +1,156 @@
+"""Domain tracker: hardware-extended ``call``/``return`` (paper §3.2).
+
+The tracker watches every control transfer the core executes:
+
+* a ``call``/``rcall``/``icall`` whose target lies inside the jump-table
+  region is a **cross-domain call**: the callee's identity is computed
+  by dividing the target's offset from ``jt_base`` by the page size (a
+  quotient beyond the configured domain count means the target overran
+  the table → exception); the tracker then sequences the caller's
+  domain id and stack bound onto the safe stack (the redirected
+  return-address push completes the 5-byte frame), copies SP into
+  ``stack_bound`` and activates the callee domain.  The sequencing
+  costs :data:`CROSS_DOMAIN_CALL_CYCLES` stall cycles — the paper's
+  "five clock cycles ... five bytes and only one byte can be written
+  every clock cycle".
+* any other call by an untrusted domain must stay inside the domain's
+  registered code region, else the control flow is escaping and the
+  tracker raises :class:`JumpTableFault`.
+* a ``ret`` that closes a cross-domain frame restores the caller's
+  domain and stack bound from the safe stack (5 more stall cycles);
+  ordinary returns pass through.  The *cross-domain state machine* —
+  a per-frame counter of nested ordinary calls — decides which ``ret``
+  closes a frame.
+* computed jumps (``ijmp``) are confined to the current domain's code
+  region.
+"""
+
+from repro.core.control_flow import JumpTable
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import JumpTableFault
+
+#: Stall cycles of a cross-domain call / return (5-byte frame at one
+#: byte per clock).
+CROSS_DOMAIN_CALL_CYCLES = 5
+CROSS_DOMAIN_RET_CYCLES = 5
+
+
+class DomainTracker:
+    """Call/return extension; installs as a core call hook."""
+
+    name = "domain_tracker"
+
+    def __init__(self, registers, safe_stack_unit,
+                 entries_per_domain=128, entry_bytes=4):
+        self.regs = registers
+        self.unit = safe_stack_unit
+        self.entries_per_domain = entries_per_domain
+        self.entry_bytes = entry_bytes
+        #: per-open-frame counters of nested ordinary calls
+        self.call_depths = []
+        #: domain id -> (code_start_byte, code_end_byte)
+        self.code_regions = {}
+        self.cross_calls = 0
+        self.cross_returns = 0
+
+    # ------------------------------------------------------------------
+    def jump_table(self):
+        """Current jump-table geometry from the registers."""
+        return JumpTable(base=self.regs.jt_base,
+                         ndomains=self.regs.ndomains,
+                         entries_per_domain=self.entries_per_domain,
+                         entry_bytes=self.entry_bytes)
+
+    def register_code_region(self, domain, start_byte, end_byte):
+        self.code_regions[domain] = (start_byte, end_byte)
+
+    def install(self, core):
+        core.call_hooks.append(self.on_event)
+        return self
+
+    # ------------------------------------------------------------------
+    def on_event(self, core, event, **kw):
+        if not self.regs.enabled:
+            return 0
+        if event == "call":
+            return self._on_call(core, kw["target"] * 2)
+        if event == "ret":
+            return self._on_ret(core)
+        if event == "ijmp":
+            return self._on_ijmp(kw["target"] * 2)
+        if event == "irq":
+            return self._on_irq(core)
+        return 0
+
+    # ------------------------------------------------------------------
+    def _on_call(self, core, target_byte):
+        jt = self.jump_table()
+        if jt.contains(target_byte):
+            jt.classify(target_byte)  # validates alignment/domain range
+            callee = (target_byte - jt.base) // jt.page_bytes
+            # sequence the caller's state onto the safe stack; the
+            # core's redirected return-address push follows, completing
+            # the frame [domain][sb_lo][sb_hi][ret_lo][ret_hi]
+            self.unit.push_byte(self.regs.cur_domain)
+            self.unit.push_byte(self.regs.stack_bound & 0xFF)
+            self.unit.push_byte((self.regs.stack_bound >> 8) & 0xFF)
+            self.call_depths.append(0)
+            self.regs.cur_domain = callee
+            self.regs.stack_bound = core.sp
+            self.cross_calls += 1
+            return CROSS_DOMAIN_CALL_CYCLES
+        # ordinary call: confined to the current domain's code
+        self._confine(target_byte, "call")
+        if self.call_depths:
+            self.call_depths[-1] += 1
+        return 0
+
+    def _on_ret(self, core):
+        if not self.call_depths:
+            return 0
+        if self.call_depths[-1] > 0:
+            self.call_depths[-1] -= 1
+            return 0
+        # closes the innermost cross-domain frame; the core already
+        # popped the return address, the rest of the frame follows
+        self.call_depths.pop()
+        sb_hi = self.unit.pop_byte()
+        sb_lo = self.unit.pop_byte()
+        prev_domain = self.unit.pop_byte()
+        self.regs.stack_bound = (sb_hi << 8) | sb_lo
+        self.regs.cur_domain = prev_domain
+        self.cross_returns += 1
+        return CROSS_DOMAIN_RET_CYCLES
+
+    def _on_irq(self, core):
+        """Interrupt entry: handlers are kernel code, so the hardware
+        swaps to the trusted domain exactly like a cross-domain call (a
+        frame on the safe stack, closed by the reti's return)."""
+        self.unit.push_byte(self.regs.cur_domain)
+        self.unit.push_byte(self.regs.stack_bound & 0xFF)
+        self.unit.push_byte((self.regs.stack_bound >> 8) & 0xFF)
+        self.call_depths.append(0)
+        self.regs.cur_domain = TRUSTED_DOMAIN
+        # the handler borrows the interrupted stack; trusted code is
+        # unchecked, so the bound may stay as-is for the frame's pop
+        self.cross_calls += 1
+        return CROSS_DOMAIN_CALL_CYCLES
+
+    def _on_ijmp(self, target_byte):
+        self._confine(target_byte, "ijmp")
+        return 0
+
+    def _confine(self, target_byte, what):
+        domain = self.regs.cur_domain
+        if domain == TRUSTED_DOMAIN:
+            return
+        region = self.code_regions.get(domain)
+        if region and region[0] <= target_byte < region[1]:
+            return
+        raise JumpTableFault(
+            target_byte, domain=domain,
+            reason="{} escaping the domain's code region".format(what))
+
+    @property
+    def nesting(self):
+        return len(self.call_depths)

@@ -1,0 +1,127 @@
+"""Memory Map Controller functional unit (paper §2.3, Figures 3-4).
+
+The MMC sits between the CPU and the data memory.  For every store by
+an untrusted domain it:
+
+1. stalls the CPU and takes the address bus (one clock cycle — the
+   paper's "single clock cycle penalty for memory map accesses");
+2. translates the write address into a memory-map table location
+   (subtract ``mem_prot_bot``, shift by the block size, index from
+   ``mem_map_base`` — Figure "Addr Translate") and fetches the
+   permission entry in the same cycle;
+3. compares the entry's owner with ``cur_domain``;
+4. asserts write-enable only if the check passed, else raises the
+   protection exception.
+
+The stack-bound comparison (§3.3) is combinational and free; only the
+table access costs the stall cycle.  The trusted domain bypasses the
+checker entirely, as does a disabled MMC.
+"""
+
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import (
+    MemMapFault,
+    StackBoundFault,
+    UntrustedAccessFault,
+)
+from repro.sim.bus import BusInterposer, WriteAction
+from repro.sim.events import AccessKind
+
+#: Cycles the MMC stalls the CPU per memory-map table access.
+MMC_STALL_CYCLES = 1
+
+_CHECKED_KINDS = (AccessKind.DATA_STORE, AccessKind.STACK_PUSH)
+
+
+class MemMapController(BusInterposer):
+    """Hardware write checker, configured by :class:`UmpuRegisters`."""
+
+    name = "mmc"
+
+    def __init__(self, registers, memory):
+        self.regs = registers
+        self.memory = memory
+        #: counters for traces/benchmarks
+        self.checked_stores = 0
+        self.faults = 0
+        #: optional waveform recorder: list of per-phase dicts
+        self.waveform = None
+
+    # ------------------------------------------------------------------
+    def translate(self, addr):
+        """Hardware address translation: (table byte address, shift).
+
+        Pure register arithmetic (no MemMapConfig object): offset,
+        block number via the barrel shifter, entry index and in-byte
+        shift from the encoding width, byte address from
+        ``mem_map_base``.  Unit-tested for equivalence against
+        :meth:`repro.core.memmap.MemMapConfig.translate`.
+        """
+        regs = self.regs
+        offset = addr - regs.mem_prot_bot
+        block = offset >> regs.block_size_log2
+        if regs.bits_per_entry == 4:
+            byte_index = block >> 1
+            shift = 4 * (block & 1)
+        else:
+            byte_index = block >> 2
+            shift = 2 * (block & 3)
+        return regs.mem_map_base + byte_index, shift
+
+    def permission_at(self, addr):
+        """Fetch and split the permission entry covering *addr*."""
+        table_addr, shift = self.translate(addr)
+        byte = self.memory.read_data(table_addr)
+        mask = (1 << self.regs.bits_per_entry) - 1
+        return (byte >> shift) & mask
+
+    def _owner_of_code(self, code):
+        if self.regs.bits_per_entry == 4:
+            return (code >> 1) & 0x7
+        return TRUSTED_DOMAIN if code & 0b10 else 0
+
+    # ------------------------------------------------------------------
+    def on_write(self, bus, addr, value, kind):
+        regs = self.regs
+        if not regs.enabled or kind not in _CHECKED_KINDS:
+            return None
+        domain = regs.cur_domain
+        if domain == TRUSTED_DOMAIN:
+            return None
+        self._wave("intercept", addr=addr, domain=domain)
+        if addr > regs.stack_bound:
+            self._fault()
+            raise StackBoundFault(addr, domain, regs.stack_bound)
+        if regs.mem_prot_bot <= addr <= regs.mem_prot_top:
+            self.checked_stores += 1
+            code = self.permission_at(addr)
+            owner = self._owner_of_code(code)
+            table_addr, shift = self.translate(addr)
+            self._wave("translate", table_addr=table_addr, shift=shift,
+                       code=code, owner=owner)
+            if owner != domain:
+                self._fault()
+                raise MemMapFault(addr, domain, owner)
+            self._wave("write_enable", addr=addr)
+            return WriteAction(extra_cycles=MMC_STALL_CYCLES)
+        if addr > regs.mem_prot_top:
+            # the module's own stack window: the bound comparison above
+            # already admitted it; no table access, no stall
+            self._wave("stack_window", addr=addr)
+            return None
+        self._fault()
+        raise UntrustedAccessFault(addr, domain)
+
+    # ------------------------------------------------------------------
+    def _fault(self):
+        self.faults += 1
+        self._wave("exception")
+
+    def _wave(self, phase, **signals):
+        if self.waveform is not None:
+            self.waveform.append({"phase": phase, **signals})
+
+    def record_waveform(self):
+        """Start recording check phases (Figure 4a timing reproduction)."""
+        self.waveform = []
+        return self.waveform

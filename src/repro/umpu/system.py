@@ -1,0 +1,273 @@
+"""UmpuSystem: a complete node running the hardware-accelerated system.
+
+The counterpart of :class:`repro.sfi.SfiSystem`: same software library
+API (retargeted for UMPU), same jump-table layout, same kernel exports —
+but modules load **unmodified** (no rewriting, no verifier): the MMC,
+safe-stack unit and domain tracker enforce the protection model in
+hardware.  The loader's only jobs are placing the code, registering the
+module's code region with the tracker and publishing its exports.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import OwnershipFault, ProtectionFault
+from repro.core.memmap import MemoryBackedStorage, MemoryMap
+from repro.sfi.layout import FAULT_OWNERSHIP, SfiLayout
+from repro.sfi.system import KERNEL_EXPORTS
+from repro.sos.linker import CrossDomainLinker
+from repro.core.control_flow import JumpTable
+from repro.umpu.cpu import HarborLayout, UmpuMachine
+from repro.umpu.runtime import build_umpu_runtime
+
+
+@dataclass
+class UmpuModule:
+    """A module installed on the hardware-protected node."""
+
+    name: str
+    domain: int
+    start: int
+    end: int
+    exports: dict  # name -> jump-table entry byte address
+
+
+class UmpuSystem:
+    """A simulated node: UMPU hardware + the retargeted software library."""
+
+    def __init__(self, layout=None):
+        self.layout = layout or SfiLayout()
+        self.hw_layout = HarborLayout(
+            memmap_table=self.layout.memmap_table,
+            prot_bottom=self.layout.prot_bottom,
+            prot_top=self.layout.prot_top,
+            safe_stack_base=self.layout.safe_stack_base,
+            jt_base=self.layout.jt_base,
+            ndomains=self.layout.ndomains)
+        self.runtime = build_umpu_runtime(self.layout)
+        self.machine = UmpuMachine(self.runtime, layout=self.hw_layout)
+        self.jump_table = JumpTable(
+            base=self.layout.jt_base,
+            ndomains=self.layout.ndomains,
+            entries_per_domain=self.layout.jt_page_bytes // 4,
+            entry_bytes=4)
+        self.linker = CrossDomainLinker(
+            self.jump_table,
+            exception_target=self.runtime.symbol("hb_fault_r20"))
+        self.modules = {}
+        self._next_load = self.layout.jt_end
+        self._next_domain = 0
+        self._free_domains = []
+        for name, entry in KERNEL_EXPORTS:
+            self.linker.export(TRUSTED_DOMAIN, name,
+                               self.runtime.symbol(entry))
+        # the kernel library is the trusted domain's code region
+        self.machine.tracker.register_code_region(
+            TRUSTED_DOMAIN, 0, self.machine.geometry.flash_bytes)
+        self._flush_jump_table()
+        self.boot()
+
+    # ------------------------------------------------------------------
+    def boot(self):
+        self.machine.reset()
+        self.machine.enter_trusted()
+        # hardware registers were programmed at construction
+        # (UmpuMachine.configure); the library builds its data structures
+        self.machine.call("hb_init", max_cycles=100000)
+        # keep a fresh view (configure()'s view cleared the table before
+        # hb_init rebuilt it; both agree now)
+        self.machine.memmap = MemoryMap(
+            self.layout.memmap_config,
+            MemoryBackedStorage(self.machine.memory,
+                                self.layout.memmap_table),
+            initialize=False)
+        return self
+
+    def _flush_jump_table(self):
+        self.linker.emit(self.machine.memory.write_flash_word)
+        self.machine.core.invalidate_decode_cache()
+
+    @property
+    def memmap(self):
+        return self.machine.memmap
+
+    @property
+    def cur_domain(self):
+        return self.machine.regs.cur_domain
+
+    def kernel_symbols(self):
+        syms = {}
+        for name, _entry in KERNEL_EXPORTS:
+            syms["KERNEL_" + name.upper()] = self.linker.entry_for(
+                TRUSTED_DOMAIN, name)
+        for module in self.modules.values():
+            for export, addr in module.exports.items():
+                syms["JT_{}_{}".format(module.name.upper(),
+                                       export.upper())] = addr
+        return syms
+
+    # ------------------------------------------------------------------
+    def load_module(self, program, name, exports=()):
+        """Install an *unmodified* module binary.
+
+        No rewriting, no verification: hardware enforces the model.  The
+        image is placed at the next load address, its code region is
+        registered with the domain tracker, its exports are linked.
+        """
+        if self._free_domains:
+            domain = self._free_domains.pop(0)
+        elif self._next_domain < self.layout.ndomains - 1:
+            domain = self._next_domain
+        else:
+            raise ValueError("no free protection domain")
+        lo, hi = program.extent()
+        span_words = hi - lo + 1
+        base_word = self._next_load // 2
+        for word_addr, value in program.words.items():
+            self.machine.memory.write_flash_word(
+                base_word + (word_addr - lo), value)
+        start = self._next_load
+        end = start + span_words * 2
+        if lo != 0:
+            raise ValueError("assemble UMPU modules at origin 0 "
+                             "(they are placed by the loader)")
+        # NOTE: modules must be position-independent w.r.t. absolute
+        # jumps; relative branches and jump-table calls survive the move
+        self._relocate_absolute(program, base_word)
+        self.machine.core.invalidate_decode_cache()
+        self.machine.tracker.register_code_region(domain, start, end)
+        jt_exports = {}
+        for export in exports:
+            target = start + program.symbol(export)
+            jt_exports[export] = self.linker.export(domain, export, target)
+        self._flush_jump_table()
+        module = UmpuModule(name=name, domain=domain, start=start,
+                            end=end, exports=jt_exports)
+        self.modules[name] = module
+        if domain == self._next_domain:
+            self._next_domain += 1
+        self._next_load = (end + 0xFF) & ~0xFF
+        return module
+
+    def _relocate_absolute(self, program, base_word):
+        """Patch module-internal jmp/call targets for the load address
+        (the linker's relocation step; jump-table targets are absolute
+        and stay put)."""
+        from repro.isa.encoding import decode_words, encode
+        lo, hi = program.extent()
+        mem = self.machine.memory
+        idx = lo
+        while idx <= hi:
+            w0 = program.word(idx)
+            w1 = program.word(idx + 1) if idx + 1 <= hi else None
+            try:
+                instr = decode_words(w0, w1)
+            except Exception:
+                idx += 1
+                continue
+            if instr.key in ("jmp", "call"):
+                target_byte = instr.operands[0] * 2
+                if lo * 2 <= target_byte <= hi * 2 + 1:
+                    new = encode(instr.key,
+                                 ((base_word * 2 + target_byte) // 2,))
+                    mem.write_flash_word(base_word + (idx - lo), new[0])
+                    mem.write_flash_word(base_word + (idx - lo) + 1,
+                                         new[1])
+            idx += instr.size_words
+        return program
+
+
+    def unload_module(self, name):
+        """Unload a module: free every heap segment its domain owns,
+        drop its jump-table entries (slots revert to the exception
+        routine), and release the domain id for reuse.  The module's
+        flash stays behind (as on a real node) but is no longer
+        reachable through any jump table."""
+        module = self.modules.pop(name)
+        memmap = self.memmap
+        heap_start, heap_end = self.layout.heap_start, self.layout.heap_end
+        for start, _nblocks, owner in memmap.segments():
+            if owner == module.domain and heap_start <= start < heap_end:
+                self.free(start + self.layout.heap_header)
+        self.linker.unlink_domain(module.domain)
+        self._flush_jump_table()
+        self._free_domains.append(module.domain)
+        return module
+
+    # ------------------------------------------------------------------
+    def _software_fault(self):
+        code = self.machine.memory.read_data(self.layout.fault_code)
+        if not code:
+            return None
+        addr = self.machine.memory.read_word_data(self.layout.fault_addr)
+        if code == FAULT_OWNERSHIP:
+            return OwnershipFault(addr, self.cur_domain, None,
+                                  "free/change_own")
+        return ProtectionFault("library fault code {}".format(code),
+                               addr=addr)
+
+    def clear_fault(self):
+        self.machine.memory.write_data(self.layout.fault_code, 0)
+        self.machine.core.halted = False
+
+    def recover(self):
+        """Kernel-side recovery after a contained hardware fault."""
+        self.clear_fault()
+        machine = self.machine
+        machine.enter_trusted()
+        machine.regs.safe_stack_ptr = self.hw_layout.safe_stack_base
+        machine.tracker.call_depths.clear()
+        machine.memory.sp = machine.geometry.ramend
+        machine.memory.write_data(self.layout.cur_dom, TRUSTED_DOMAIN)
+        return self
+
+    def _checked(self, cycles):
+        exc = self._software_fault()
+        if exc is not None:
+            self.clear_fault()
+            raise exc
+        return cycles
+
+    # ------------------------------------------------------------------
+    def call_export(self, module, export, *args, max_cycles=1_000_000):
+        """Dispatch into a module export through the jump table (via the
+        hb_dispatch springboard so the hardware sees a real icall)."""
+        entry = self.modules[module].exports[export]
+        machine = self.machine
+        machine.enter_trusted()
+        machine.set_args(*args)
+        machine.core.set_reg_pair(30, entry // 2)
+        machine.core.push_return_address(0xFFFE)
+        machine.core.pc = self.runtime.symbol("hb_dispatch") // 2
+        start = machine.core.cycles
+        machine.core.run(max_cycles=max_cycles, until_pc=0xFFFE)
+        self._checked(0)
+        return machine.result16(), machine.core.cycles - start
+
+    # --- host-side trusted memory API -----------------------------------
+    def _acting(self, domain):
+        self.machine.memory.write_data(self.layout.cur_dom, domain)
+
+    def malloc(self, nbytes, domain=TRUSTED_DOMAIN):
+        self._acting(domain)
+        try:
+            cycles = self.machine.call("hb_malloc", nbytes)
+            self._checked(cycles)
+        finally:
+            self._acting(TRUSTED_DOMAIN)
+        return self.machine.result16() or None
+
+    def free(self, ptr, domain=TRUSTED_DOMAIN):
+        self._acting(domain)
+        try:
+            self._checked(self.machine.call("hb_free", ptr))
+        finally:
+            self._acting(TRUSTED_DOMAIN)
+
+    def change_own(self, ptr, new_domain, domain=TRUSTED_DOMAIN):
+        self._acting(domain)
+        try:
+            self._checked(self.machine.call("hb_change_own", ptr,
+                                            ("u8", new_domain)))
+        finally:
+            self._acting(TRUSTED_DOMAIN)

@@ -1,0 +1,66 @@
+"""Shared fixtures: assembled runtime, machines, systems.
+
+Session-scoped where construction is expensive (the runtime assembles
+once); function-scoped machines are cheap because loading a Program is
+just a dict copy.
+"""
+
+import pytest
+
+from repro.asm import Assembler, assemble
+from repro.sfi.layout import SfiLayout
+from repro.sfi.runtime_asm import build_runtime
+from repro.sfi.system import SfiSystem
+from repro.sim import Machine
+from repro.umpu import HarborLayout, UmpuMachine
+
+
+@pytest.fixture(scope="session")
+def sfi_layout():
+    return SfiLayout()
+
+
+@pytest.fixture(scope="session")
+def runtime_program(sfi_layout):
+    return build_runtime(sfi_layout)
+
+
+@pytest.fixture
+def runtime_machine(runtime_program):
+    machine = Machine(runtime_program)
+    machine.call("hb_init", max_cycles=100000)
+    return machine
+
+
+@pytest.fixture
+def sfi_system():
+    return SfiSystem()
+
+
+@pytest.fixture
+def umpu_layout():
+    return HarborLayout()
+
+
+@pytest.fixture
+def umpu_machine(umpu_layout):
+    """A configured UmpuMachine with empty flash."""
+    return UmpuMachine(layout=umpu_layout)
+
+
+def asm(source, symbols=None):
+    """Assemble helper usable from any test."""
+    if symbols:
+        return Assembler(symbols=symbols).assemble(source)
+    return assemble(source)
+
+
+@pytest.fixture(name="asm")
+def asm_fixture():
+    return asm
+
+
+@pytest.fixture(scope="session")
+def runtime_program_global(runtime_program):
+    """Alias used by stress tests (session-scoped assembly)."""
+    return runtime_program

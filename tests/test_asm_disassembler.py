@@ -1,0 +1,103 @@
+"""Disassembler tests, including an assemble/disassemble round trip."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble, disassemble, listing
+from repro.asm.disassembler import format_instr
+from repro.isa.encoding import decode_words, encode
+from repro.isa.opcodes import SPECS
+
+
+def test_basic_disassembly():
+    p = assemble("""
+    start:
+        ldi r16, 0x42
+        sts 0x0100, r16
+        rjmp start
+    """)
+    lines = disassemble(p)
+    texts = [l.text for l in lines]
+    assert texts[0] == "ldi r16, 66"
+    assert texts[1] == "sts 0x0100, r16"
+    assert texts[2] == "rjmp start"      # symbolized target
+
+
+def test_pointer_modes_render():
+    p = assemble("""
+        ld r5, X+
+        st -Y, r6
+        ldd r7, Z+12
+        std Y+3, r8
+    """)
+    texts = [l.text for l in disassemble(p)]
+    assert texts == ["ld r5, X+", "st -Y, r6", "ldd r7, Z+12",
+                     "std Y+3, r8"]
+
+
+def test_data_words_become_dw():
+    lines = disassemble([0xFFFF, 0x0000])
+    assert lines[0].instr is None
+    assert lines[0].text == ".dw 0xffff"
+    assert lines[1].text == "nop"
+
+
+def test_listing_includes_labels_and_addresses():
+    p = assemble("""
+    main:
+        nop
+        call main
+    """)
+    text = listing(p)
+    assert "main:" in text
+    assert "00000:" in text
+    assert "call main" in text
+
+
+def test_sizes_accounted():
+    lines = disassemble(assemble("    jmp 0\n    nop\n"))
+    assert lines[0].size_words == 2
+    assert lines[1].size_words == 1
+    assert lines[1].byte_addr == 4
+
+
+@settings(max_examples=200)
+@given(st.sampled_from([s for s in SPECS if not s.operands]))
+def test_format_zero_operand(spec):
+    words = encode(spec.key, ())
+    text = format_instr(decode_words(*words))
+    assert text == spec.mnemonic
+
+
+def _reassemblable(line):
+    """Render a disassembled line to re-assemblable source."""
+    return "    {}\n".format(line.text)
+
+
+def test_roundtrip_through_source():
+    """dis(asm(src)) re-assembles to the identical words for a program
+    exercising every format family."""
+    src = """
+        nop
+        ldi r16, 0xAA
+        add r16, r17
+        movw r30, r26
+        adiw r26, 10
+        lds r4, 0x0123
+        sts 0x0123, r4
+        ld r5, X+
+        std Z+5, r6
+        push r0
+        pop r0
+        in r16, 0x3F
+        out 0x3F, r16
+        sbi 4, 2
+        lpm r3, Z+
+        mul r2, r3
+        swap r9
+        bst r1, 4
+        ret
+    """
+    p1 = assemble(src)
+    source2 = "".join(_reassemblable(l) for l in disassemble(p1))
+    p2 = assemble(source2)
+    assert p1.words == p2.words

@@ -1,0 +1,90 @@
+"""Expression evaluator tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm.errors import ExprError, SymbolError
+from repro.asm.expr import evaluate, evaluate_with_refs, references
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("42", 42),
+    ("0x2A", 42),
+    ("0b101010", 42),
+    ("0o52", 42),
+    ("'A'", 65),
+    ("'\\n'", 10),
+    ("1 + 2 * 3", 7),
+    ("(1 + 2) * 3", 9),
+    ("10 - 3 - 2", 5),
+    ("-5 + 3", -2),
+    ("~0", -1),
+    ("1 << 4", 16),
+    ("0xFF00 >> 8", 0xFF),
+    ("0xF0 | 0x0F", 0xFF),
+    ("0xFF & 0x0F", 0x0F),
+    ("0xFF ^ 0x0F", 0xF0),
+    ("7 % 3", 1),
+    ("7 / 2", 3),
+    ("1 + 2 << 3", 24),         # shift binds looser than +
+    ("0x12 | 1 << 7", 0x92),
+])
+def test_arithmetic(text, expected):
+    assert evaluate(text) == expected
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("lo8(0x1234)", 0x34),
+    ("hi8(0x1234)", 0x12),
+    ("hh8(0x123456)", 0x12),
+    ("lo8(-256)", 0),
+    ("pm_lo8(0x1234)", 0x1A),   # (0x1234 >> 1) & 0xFF = 0x91A & 0xFF
+    ("pm_hi8(0x1234)", 0x09),
+    ("pm(0x1000)", 0x800),
+    ("lo8(sym + 1)", 0x01),
+])
+def test_functions(text, expected):
+    assert evaluate(text, {"sym": 0x100}) == expected
+
+
+def test_symbols():
+    assert evaluate("a + b", {"a": 1, "b": 2}) == 3
+
+
+def test_undefined_symbol():
+    with pytest.raises(SymbolError):
+        evaluate("nope")
+
+
+def test_division_by_zero():
+    with pytest.raises(ExprError):
+        evaluate("1 / 0")
+
+
+@pytest.mark.parametrize("text", ["", "1 +", "(1", "1 ** 2", "@foo", "1 2"])
+def test_malformed(text):
+    with pytest.raises(ExprError):
+        evaluate(text)
+
+
+def test_references():
+    assert references("a + lo8(b) - 3") == {"a", "b"}
+    assert references("42") == set()
+
+
+def test_evaluate_with_refs():
+    value, refs = evaluate_with_refs("x * 2", {"x": 21, "y": 0})
+    assert value == 42
+    assert refs == {"x"}
+
+
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_addition_matches_python(a, b):
+    assert evaluate("{} + {}".format(a, b).replace("+ -", "- ")) == a + b
+
+
+@given(st.integers(0, 0xFFFF))
+def test_lo8_hi8_recompose(v):
+    lo = evaluate("lo8({})".format(v))
+    hi = evaluate("hi8({})".format(v))
+    assert (hi << 8) | lo == v

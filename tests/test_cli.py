@@ -1,0 +1,118 @@
+"""Command-line tools."""
+
+import pytest
+
+from repro.cli import (
+    cmd_asm,
+    cmd_disasm,
+    cmd_rewrite,
+    cmd_run,
+    cmd_verify,
+    main,
+)
+
+DEMO = """
+work:
+    ldi r24, 0
+    ldi r22, 5
+loop:
+    add r24, r22
+    dec r22
+    brne loop
+    ret
+store_mod:
+    movw r26, r24
+    st X, r22
+    ret
+"""
+
+
+@pytest.fixture
+def demo_source(tmp_path):
+    path = tmp_path / "demo.s"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def test_asm_to_image_and_listing(demo_source, tmp_path, capsys):
+    out = tmp_path / "demo.hex"
+    assert cmd_asm([demo_source, "-o", str(out), "--listing"]) == 0
+    captured = capsys.readouterr()
+    assert "work:" in captured.out
+    assert "bytes of code" in captured.err
+    lines = out.read_text().strip().splitlines()
+    assert lines[0].startswith("00000:")
+
+
+def test_asm_reports_errors(tmp_path, capsys):
+    bad = tmp_path / "bad.s"
+    bad.write_text("    frob r1\n")
+    assert cmd_asm([str(bad)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_disasm_roundtrip(demo_source, tmp_path, capsys):
+    out = tmp_path / "demo.hex"
+    cmd_asm([demo_source, "-o", str(out)])
+    capsys.readouterr()
+    assert cmd_disasm([str(out)]) == 0
+    assert "ldi r24, 0" in capsys.readouterr().out
+
+
+def test_run_entry(demo_source, capsys):
+    assert cmd_run([demo_source, "--entry", "work"]) == 0
+    assert "r24:25 = 0x000f" in capsys.readouterr().out
+
+
+def test_run_with_dump(demo_source, capsys):
+    assert cmd_run([demo_source, "--entry", "work",
+                    "--dump", "0x100:4"]) == 0
+    assert "0x0100: 00 00 00 00" in capsys.readouterr().out
+
+
+def test_rewrite_and_verify_pipeline(demo_source, tmp_path, capsys):
+    out = tmp_path / "mod.hex"
+    assert cmd_rewrite([demo_source, "--export", "store_mod",
+                        "-o", str(out)]) == 0
+    err = capsys.readouterr().err
+    assert "stores=1" in err
+    assert "export store_mod" in err
+    assert cmd_verify([str(out)]) == 0
+    assert "ACCEPTED" in capsys.readouterr().out
+
+
+def test_verify_rejects_raw_module(demo_source, capsys):
+    assert cmd_verify([demo_source]) == 1
+    assert "REJECTED" in capsys.readouterr().out
+
+
+def test_rewrite_rejects_unsandboxable(tmp_path, capsys):
+    bad = tmp_path / "bad.s"
+    bad.write_text("f:\n    ijmp\n    ret\n")
+    assert cmd_rewrite([str(bad), "--export", "f"]) == 1
+    assert "rewrite error" in capsys.readouterr().err
+
+
+def test_run_umpu_protection_fault(tmp_path, capsys):
+    src = tmp_path / "poke.s"
+    src.write_text("""
+poke:
+    ldi r26, 0x00
+    ldi r27, 0x04
+    ldi r18, 1
+    st X, r18
+    ret
+""")
+    # domain 0 owns nothing: the store must fault under --umpu
+    assert cmd_run([str(src), "--entry", "poke", "--umpu",
+                    "--domain", "0"]) == 2
+    assert "protection fault" in capsys.readouterr().out
+    # and pass on the stock core
+    assert cmd_run([str(src), "--entry", "poke"]) == 0
+
+
+def test_main_multiplexer(demo_source, capsys):
+    assert main(["run", demo_source, "--entry", "work"]) == 0
+    capsys.readouterr()
+    assert main([]) == 64
+    assert main(["bogus"]) == 64

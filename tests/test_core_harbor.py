@@ -1,0 +1,125 @@
+"""HarborSystem facade scenarios (behavioural golden system)."""
+
+import pytest
+
+from repro.core import (
+    HarborSystem,
+    MemMapFault,
+    StackBoundFault,
+    TRUSTED_DOMAIN,
+    UntrustedAccessFault,
+)
+
+
+@pytest.fixture
+def system():
+    return HarborSystem()
+
+
+def test_default_layout(system):
+    cfg = system.memmap.config
+    assert cfg.prot_bottom == 0x200
+    assert cfg.block_size == 8
+    assert system.heap.start == 0x200
+    assert system.heap.end == 0xC00
+    assert system.safe_stack.base == 0xC00
+    # safe stack region is trusted-owned from the start
+    assert system.memmap.owner_of(0xC00) == TRUSTED_DOMAIN
+
+
+def test_malloc_store_load_cycle(system):
+    d = system.create_domain("app")
+    p = system.malloc(16, d)
+    system.store(p, 0xAB, d)
+    assert system.load(p) == 0xAB
+
+
+def test_cross_domain_write_blocked(system):
+    a = system.create_domain("a")
+    b = system.create_domain("b")
+    pa = system.malloc(8, a)
+    with pytest.raises(MemMapFault):
+        system.store(pa, 1, b)
+    system.store(pa, 1, a)
+
+
+def test_as_domain_context(system):
+    d = system.create_domain()
+    p = system.malloc(8, d)
+    with system.as_domain(d):
+        assert system.cur_domain == d.did
+        system.store(p, 9)
+    assert system.cur_domain == TRUSTED_DOMAIN
+
+
+def test_trusted_default_can_write_anywhere(system):
+    system.store(0x100, 1)
+    system.store(0xF00, 1)
+
+
+def test_untrusted_cannot_touch_trusted_globals(system):
+    d = system.create_domain()
+    with pytest.raises(UntrustedAccessFault):
+        system.store(0x100, 1, d)
+
+
+def test_store_unchecked_bypasses(system):
+    d = system.create_domain()
+    system.store_unchecked(0x100, 0x55)  # no fault, no checks
+    assert system.load(0x100) == 0x55
+
+
+def test_cross_domain_call_swaps_protection_state(system):
+    d = system.create_domain()
+    entry = system.jump_table.entry_addr(d.did, 0)
+    system.sp = 0xE00
+    callee = system.cross_domain_call(entry)
+    assert callee == d.did
+    assert system.cur_domain == d.did
+    assert system.context.stack_bound == 0xE00
+    # while in the domain, writes above the bound fault
+    with pytest.raises(StackBoundFault):
+        system.store(0xE01, 1)
+    # the domain's stack window works
+    system.store(0xD80, 1)
+    frame = system.cross_domain_return()
+    assert frame.prev_domain == TRUSTED_DOMAIN
+    assert system.cur_domain == TRUSTED_DOMAIN
+
+
+def test_free_and_change_own_via_facade(system):
+    a = system.create_domain()
+    b = system.create_domain()
+    p = system.malloc(32, a)
+    system.change_own(p, b, a)
+    assert system.memmap.owner_of(p) == b.did
+    system.free(p, b)
+    assert system.memmap.owner_of(p) == TRUSTED_DOMAIN
+
+
+def test_domain_layout_reports_fragmentation(system):
+    """Figure 2: a domain's memory is fragmented but logically one
+    protection domain."""
+    a = system.create_domain("a")
+    b = system.create_domain("b")
+    pa1 = system.malloc(8, a)
+    pb = system.malloc(8, b)
+    pa2 = system.malloc(8, a)
+    segs = {(s, o) for s, _n, o in system.domain_layout()}
+    assert (pa1, a.did) in segs
+    assert (pb, b.did) in segs
+    assert (pa2, a.did) in segs
+    # a's two segments are not adjacent (b sits in between)
+    assert pa2 - pa1 == 16
+
+
+def test_two_domain_mode():
+    system = HarborSystem(mode="two")
+    d = system.create_domain()
+    assert d.did == 0
+    with pytest.raises(ValueError):
+        system.create_domain()  # only one user domain in 2-bit mode
+    p = system.malloc(8, d)
+    system.store(p, 5, d)
+    assert system.memmap.config.table_bytes == \
+        (system.memmap.config.nblocks + 3) // 4

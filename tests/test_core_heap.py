@@ -1,0 +1,208 @@
+"""Protected heap: allocation, ownership rules, and allocator/memmap
+consistency under random operation sequences (hypothesis state machine
+style, hand-rolled)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import OwnershipFault
+from repro.core.heap import HarborHeap, HeapError
+from repro.core.memmap import MemMapConfig, MemoryMap
+
+
+def make_heap(start=0x200, end=0xC00):
+    mm = MemoryMap(MemMapConfig(0x200, 0xCFF, 8, "multi"))
+    return HarborHeap(mm, start, end)
+
+
+# ---------------------------------------------------------------------
+# basics
+# ---------------------------------------------------------------------
+def test_malloc_returns_block_aligned():
+    h = make_heap()
+    p = h.malloc(10, 0)
+    assert p is not None
+    assert p % 8 == 0
+    assert h.owner_of(p) == 0
+    assert h.allocation_size(p) == 16  # rounded up
+
+
+def test_malloc_marks_whole_segment():
+    h = make_heap()
+    p = h.malloc(30, 2)
+    for off in range(0, 32, 8):
+        assert h.owner_of(p + off) == 2
+    assert h.memmap.segment_length(p) == 4
+
+
+def test_malloc_zero_and_one_byte():
+    h = make_heap()
+    assert h.allocation_size(h.malloc(0, 0)) == 8
+    assert h.allocation_size(h.malloc(1, 0)) == 8
+
+
+def test_out_of_memory_returns_none():
+    h = make_heap(0x200, 0x210)   # 16-byte heap
+    assert h.malloc(8, 0) is not None
+    assert h.malloc(8, 0) is not None
+    assert h.malloc(8, 0) is None
+    assert h.stats["failed"] == 1
+
+
+def test_free_returns_memory():
+    h = make_heap()
+    p = h.malloc(64, 1)
+    before = h.free_bytes
+    assert h.free(p, 1) == 64
+    assert h.free_bytes == before + 64
+    assert h.owner_of(p) == TRUSTED_DOMAIN
+
+
+def test_free_coalesces():
+    h = make_heap()
+    a = h.malloc(8, 0)
+    b = h.malloc(8, 0)
+    c = h.malloc(8, 0)
+    h.free(a, 0)
+    h.free(c, 0)
+    h.free(b, 0)
+    assert len(h.free_list) == 1
+    assert h.free_bytes == 0xC00 - 0x200
+
+
+# ---------------------------------------------------------------------
+# ownership enforcement (paper §2.4)
+# ---------------------------------------------------------------------
+def test_only_owner_may_free():
+    h = make_heap()
+    p = h.malloc(16, 1)
+    with pytest.raises(OwnershipFault):
+        h.free(p, 2)
+    h.free(p, 1)
+
+
+def test_trusted_may_free_anything():
+    h = make_heap()
+    p = h.malloc(16, 1)
+    h.free(p, TRUSTED_DOMAIN)
+
+
+def test_only_owner_may_change_own():
+    h = make_heap()
+    p = h.malloc(16, 1)
+    with pytest.raises(OwnershipFault):
+        h.change_own(p, 3, 2)
+    h.change_own(p, 3, 1)
+    assert h.owner_of(p) == 3
+    # and now domain 1 lost its rights
+    with pytest.raises(OwnershipFault):
+        h.free(p, 1)
+    h.free(p, 3)
+
+
+def test_double_free_rejected():
+    h = make_heap()
+    p = h.malloc(16, 0)
+    h.free(p, 0)
+    with pytest.raises(HeapError):
+        h.free(p, 0)
+
+
+def test_free_of_interior_pointer_rejected():
+    h = make_heap()
+    p = h.malloc(32, 0)
+    with pytest.raises(HeapError):
+        h.free(p + 8, 0)
+
+
+def test_free_outside_heap_rejected():
+    h = make_heap()
+    with pytest.raises(HeapError):
+        h.free(0x100, 0)
+    with pytest.raises(HeapError):
+        h.change_own(0xC08, 1, 0)
+
+
+def test_change_own_transfers_message_payload():
+    """The SOS zero-copy idiom: producer allocates, transfers to
+    consumer, consumer frees."""
+    h = make_heap()
+    p = h.malloc(24, 0)
+    h.change_own(p, 1, 0)
+    assert h.owner_of(p) == 1
+    h.free(p, 1)
+
+
+# ---------------------------------------------------------------------
+# invariants under random workloads
+# ---------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["malloc", "free", "chown"]),
+                          st.integers(1, 120), st.integers(0, 6)),
+                max_size=60))
+def test_property_heap_memmap_consistency(ops):
+    h = make_heap()
+    live = []  # (addr, owner)
+    for op, size, dom in ops:
+        if op == "malloc":
+            p = h.malloc(size, dom)
+            if p is not None:
+                live.append((p, dom))
+        elif op == "free" and live:
+            addr, owner = live.pop(size % len(live))
+            h.free(addr, owner)
+        elif op == "chown" and live:
+            i = size % len(live)
+            addr, owner = live[i]
+            h.change_own(addr, dom, owner)
+            live[i] = (addr, dom)
+        h.check_invariants()
+    # every live allocation is still owned correctly and disjoint
+    seen_blocks = set()
+    for addr, owner in live:
+        assert h.owner_of(addr) == owner
+        length = h.memmap.segment_length(addr)
+        first = h.memmap.config.block_of(addr)
+        blocks = set(range(first, first + length))
+        assert not blocks & seen_blocks, "overlapping allocations"
+        seen_blocks |= blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(1, 64), min_size=1, max_size=40))
+def test_property_alloc_free_all_restores_heap(sizes):
+    h = make_heap()
+    total = h.free_bytes
+    ptrs = [h.malloc(s, 0) for s in sizes]
+    for p in ptrs:
+        if p is not None:
+            h.free(p, 0)
+    assert h.free_bytes == total
+    assert len(h.free_list) == 1
+    h.check_invariants()
+
+
+@given(st.integers(1, 200))
+def test_property_allocation_size_covers_request(nbytes):
+    h = make_heap()
+    p = h.malloc(nbytes, 0)
+    assert h.allocation_size(p) >= nbytes
+
+
+def test_stats_counted():
+    h = make_heap()
+    p = h.malloc(8, 0)
+    h.change_own(p, 1, 0)
+    h.free(p, 1)
+    assert h.stats["malloc"] == 1
+    assert h.stats["change_own"] == 1
+    assert h.stats["free"] == 1
+
+
+def test_construction_validation():
+    mm = MemoryMap(MemMapConfig(0x200, 0xCFF, 8, "multi"))
+    with pytest.raises(ValueError):
+        HarborHeap(mm, 0x201, 0xC00)   # misaligned
+    with pytest.raises(ValueError):
+        HarborHeap(mm, 0x100, 0xC00)   # outside protected region

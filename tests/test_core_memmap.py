@@ -1,0 +1,276 @@
+"""Memory map: encodings (paper Table 1), translation (Figure 4b),
+segment operations, and property-based invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.encoding import (
+    MultiDomainEncoding,
+    TRUSTED_DOMAIN,
+    TwoDomainEncoding,
+    encoding_for,
+)
+from repro.core.faults import MemMapFault
+from repro.core.memmap import (
+    BufferStorage,
+    MemMapConfig,
+    MemoryBackedStorage,
+    MemoryMap,
+)
+from repro.sim import Memory
+
+
+# ---------------------------------------------------------------------
+# Table 1: permission codes
+# ---------------------------------------------------------------------
+def test_multi_domain_codes_match_paper_table1():
+    enc = MultiDomainEncoding()
+    # 1111 = free / start of trusted segment
+    assert enc.encode(TRUSTED_DOMAIN, True) == 0b1111
+    assert enc.free == 0b1111
+    # 1110 = later portion of trusted segment
+    assert enc.encode(TRUSTED_DOMAIN, False) == 0b1110
+    # xxx1 / xxx0 = start / later of domain 0-6 segments
+    for dom in range(7):
+        assert enc.encode(dom, True) == (dom << 1) | 1
+        assert enc.encode(dom, False) == dom << 1
+
+
+def test_multi_domain_decode_roundtrip():
+    enc = MultiDomainEncoding()
+    for dom in range(8):
+        for start in (True, False):
+            perm = enc.decode(enc.encode(dom, start))
+            assert perm.owner == dom
+            assert perm.is_start == start
+
+
+def test_two_domain_codes():
+    enc = TwoDomainEncoding()
+    assert enc.bits_per_entry == 2
+    assert enc.free == 0b11
+    assert enc.encode(TRUSTED_DOMAIN, True) == 0b11
+    assert enc.encode(TRUSTED_DOMAIN, False) == 0b10
+    assert enc.encode(0, True) == 0b01
+    assert enc.encode(0, False) == 0b00
+    with pytest.raises(ValueError):
+        enc.encode(3, True)
+
+
+def test_encoding_for():
+    assert encoding_for("multi").bits_per_entry == 4
+    assert encoding_for("two").bits_per_entry == 2
+    with pytest.raises(ValueError):
+        encoding_for("three")
+
+
+# ---------------------------------------------------------------------
+# configuration / translation
+# ---------------------------------------------------------------------
+def cfg(bottom=0x200, top=0xCFF, bs=8, mode="multi"):
+    return MemMapConfig(prot_bottom=bottom, prot_top=top, block_size=bs,
+                        mode=mode)
+
+
+def test_table_sizing_matches_paper():
+    # 4KiB space, 8-byte blocks, 4-bit entries -> 256 bytes (paper §5.2)
+    full = MemMapConfig(0, 0xFFF, 8, "multi")
+    assert full.nblocks == 512
+    assert full.table_bytes == 256
+    # two-domain halves it
+    assert MemMapConfig(0, 0xFFF, 8, "two").table_bytes == 128
+    # heap+safe-stack only (2240 bytes): 140 / 70 bytes
+    assert MemMapConfig(0, 2239, 8, "multi").table_bytes == 140
+    assert MemMapConfig(0, 2239, 8, "two").table_bytes == 70
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MemMapConfig(0, 0xFFF, 7)          # not a power of two
+    with pytest.raises(ValueError):
+        MemMapConfig(0x100, 0x10A, 8)      # span not block multiple
+    with pytest.raises(ValueError):
+        MemMapConfig(0x100, 0xFF, 8)       # empty
+
+
+def test_translate_figure4b():
+    """Address translation of the paper's Figure 4b, worked by hand."""
+    c = cfg(bottom=0x200, bs=8)
+    tr = c.translate(0x200)
+    assert (tr.offset, tr.block, tr.byte_index, tr.entry_index) == \
+        (0, 0, 0, 0)
+    tr = c.translate(0x207)          # same first block
+    assert tr.block == 0
+    tr = c.translate(0x208)          # second block -> high nibble
+    assert tr.block == 1
+    assert tr.byte_index == 0
+    assert tr.entry_index == 1
+    assert tr.shift == 4
+    tr = c.translate(0x210)          # third block -> next byte
+    assert tr.byte_index == 1
+    assert tr.entry_index == 0
+
+
+def test_translate_two_domain_packs_four_per_byte():
+    c = cfg(mode="two")
+    assert c.entries_per_byte == 4
+    assert c.translate(c.prot_bottom + 3 * 8).shift == 6
+    assert c.translate(c.prot_bottom + 4 * 8).byte_index == 1
+
+
+def test_block_of_bounds():
+    c = cfg()
+    with pytest.raises(ValueError):
+        c.block_of(0x1FF)
+    with pytest.raises(ValueError):
+        c.block_of(0xD00)
+    assert c.block_of(0x200) == 0
+    assert c.block_addr(1) == 0x208
+
+
+def test_blocks_spanning():
+    c = cfg()
+    assert c.blocks_spanning(0x200, 8) == (0, 0)
+    assert c.blocks_spanning(0x200, 9) == (0, 1)
+    assert c.blocks_spanning(0x204, 8) == (0, 1)
+    assert c.blocks_spanning(0x208, 0) == (1, 1)
+
+
+# ---------------------------------------------------------------------
+# MemoryMap operations
+# ---------------------------------------------------------------------
+def test_fresh_map_is_all_free():
+    mm = MemoryMap(cfg())
+    for block in range(mm.config.nblocks):
+        assert mm.get_code(block) == mm.encoding.free
+
+
+def test_set_segment_and_owner_of():
+    mm = MemoryMap(cfg())
+    mm.set_segment(0x300, 24, 3)
+    assert mm.owner_of(0x300) == 3
+    assert mm.owner_of(0x317) == 3
+    assert mm.owner_of(0x318) == TRUSTED_DOMAIN
+    assert mm.is_segment_start(mm.config.block_of(0x300))
+    assert not mm.is_segment_start(mm.config.block_of(0x308))
+
+
+def test_segment_length_from_layout():
+    mm = MemoryMap(cfg())
+    mm.set_segment(0x300, 40, 2)
+    assert mm.segment_length(0x300) == 5
+    with pytest.raises(ValueError):
+        mm.segment_length(0x308)  # not a start
+
+
+def test_adjacent_same_owner_segments_stay_distinct():
+    mm = MemoryMap(cfg())
+    mm.set_segment(0x300, 16, 2)
+    mm.set_segment(0x310, 16, 2)
+    assert mm.segment_length(0x300) == 2
+    assert mm.segment_length(0x310) == 2
+
+
+def test_free_segment():
+    mm = MemoryMap(cfg())
+    mm.set_segment(0x300, 32, 1)
+    assert mm.free_segment(0x300) == 4
+    assert mm.owner_of(0x300) == TRUSTED_DOMAIN
+    assert mm.get_code(mm.config.block_of(0x300)) == mm.encoding.free
+
+
+def test_change_owner_preserves_layout():
+    mm = MemoryMap(cfg())
+    mm.set_segment(0x300, 32, 1)
+    assert mm.change_owner(0x300, 4) == 4
+    assert mm.owner_of(0x300) == 4
+    assert mm.segment_length(0x300) == 4
+
+
+def test_check_write():
+    mm = MemoryMap(cfg())
+    mm.set_segment(0x300, 8, 2)
+    mm.check_write(0x300, 2)                  # owner
+    mm.check_write(0x300, TRUSTED_DOMAIN)     # trusted bypass
+    with pytest.raises(MemMapFault):
+        mm.check_write(0x300, 1)
+    with pytest.raises(MemMapFault):
+        mm.check_write(0x400, 1)              # free block
+
+
+def test_segments_listing():
+    mm = MemoryMap(cfg())
+    mm.set_segment(0x200, 16, 0)
+    mm.set_segment(0x210, 8, 1)
+    segs = mm.segments()
+    assert (0x200, 2, 0) in segs
+    assert (0x210, 1, 1) in segs
+
+
+def test_memory_backed_storage():
+    mem = Memory()
+    mm = MemoryMap(cfg(), MemoryBackedStorage(mem, 0x100))
+    mm.set_segment(0x300, 8, 5)
+    # the nibble lives in simulated SRAM
+    block = mm.config.block_of(0x300)
+    assert mem.read_data(0x100 + block // 2) & 0x0F == (5 << 1) | 1
+
+
+def test_initialize_false_preserves_storage():
+    store = BufferStorage(0x200)
+    mm1 = MemoryMap(cfg(), store)
+    mm1.set_segment(0x300, 8, 5)
+    mm2 = MemoryMap(cfg(), store, initialize=False)
+    assert mm2.owner_of(0x300) == 5
+
+
+# ---------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------
+@given(st.lists(
+    st.tuples(st.integers(0, 350), st.integers(1, 16),
+              st.integers(0, 6)),
+    max_size=20))
+def test_property_set_then_read_back(ops):
+    """Writing arbitrary non-overlapping-last-wins segments, the last
+    writer of each block is its owner."""
+    mm = MemoryMap(cfg())
+    expected = {}
+    for block0, nblocks, owner in ops:
+        nblocks = min(nblocks, mm.config.nblocks - block0)
+        if nblocks <= 0:
+            continue
+        addr = mm.config.block_addr(block0)
+        mm.set_segment(addr, nblocks * 8, owner)
+        for i in range(nblocks):
+            expected[block0 + i] = (owner, i == 0)
+    for block, (owner, start) in expected.items():
+        perm = mm.permission(block)
+        assert perm.owner == owner
+        assert perm.is_start == start
+
+
+@given(st.integers(0x200, 0xCFF), st.sampled_from([4, 8, 16, 32]))
+def test_property_translation_consistency(addr, bs):
+    """Translation agrees with direct arithmetic for any block size."""
+    c = MemMapConfig(0x200, 0x200 + 0xB00 - 1, bs, "multi")
+    tr = c.translate(addr)
+    assert tr.offset == addr - 0x200
+    assert tr.block == tr.offset // bs
+    assert tr.byte_index == tr.block // 2
+    assert tr.shift in (0, 4)
+
+
+@given(st.data())
+def test_property_get_set_code_roundtrip(data):
+    mm = MemoryMap(cfg())
+    block = data.draw(st.integers(0, mm.config.nblocks - 1))
+    code = data.draw(st.integers(0, 15))
+    before = {b: mm.get_code(b) for b in
+              range(max(0, block - 2), min(mm.config.nblocks, block + 3))
+              if b != block}
+    mm.set_code(block, code)
+    assert mm.get_code(block) == code
+    # neighbours untouched (packing does not bleed)
+    for b, val in before.items():
+        assert mm.get_code(b) == val

@@ -1,0 +1,361 @@
+"""Checker, domains, safe stack and control-flow manager (golden model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.checker import CheckContext, WriteChecker
+from repro.core.control_flow import CrossDomainManager, JumpTable
+from repro.core.domains import Domain, DomainSet
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import (
+    JumpTableFault,
+    MemMapFault,
+    SafeStackOverflow,
+    SafeStackUnderflow,
+    StackBoundFault,
+    UntrustedAccessFault,
+)
+from repro.core.memmap import MemMapConfig, MemoryMap
+from repro.core.safe_stack import (
+    CROSS_DOMAIN_FRAME_BYTES,
+    SafeStack,
+)
+
+
+# ---------------------------------------------------------------------
+# domains
+# ---------------------------------------------------------------------
+def test_domain_set_basics():
+    ds = DomainSet()
+    assert ds.trusted.did == TRUSTED_DOMAIN
+    assert ds.trusted.trusted
+    a = ds.create("app")
+    b = ds.create()
+    assert a.did == 0 and not a.trusted
+    assert b.did == 1
+    assert len(ds) == 3
+    assert a.did in ds
+    assert ds.user_domains() == [a, b]
+
+
+def test_domain_exhaustion():
+    ds = DomainSet(max_user_domains=2)
+    ds.create()
+    ds.create()
+    with pytest.raises(ValueError):
+        ds.create()
+
+
+def test_domain_destroy_and_reuse():
+    ds = DomainSet()
+    a = ds.create()
+    ds.destroy(a.did)
+    assert a.did not in ds
+    again = ds.create()
+    assert again.did == a.did
+    with pytest.raises(ValueError):
+        ds.destroy(TRUSTED_DOMAIN)
+
+
+def test_domain_str():
+    assert "trusted" in str(Domain(TRUSTED_DOMAIN))
+    assert "id=2" in str(Domain(2, "surge"))
+
+
+# ---------------------------------------------------------------------
+# write checker (the golden rule table)
+# ---------------------------------------------------------------------
+@pytest.fixture
+def checker():
+    memmap = MemoryMap(MemMapConfig(0x200, 0xCFF, 8, "multi"))
+    memmap.set_segment(0x300, 16, 0)
+    memmap.set_segment(0x310, 16, 1)
+    ctx = CheckContext(memmap, cur_domain=0, stack_bound=0xF00)
+    return WriteChecker(ctx)
+
+
+def test_trusted_writes_anywhere(checker):
+    checker.context.cur_domain = TRUSTED_DOMAIN
+    for addr in (0x000, 0x100, 0x300, 0x310, 0xF80, 0xFFF):
+        assert checker.check(addr) == "trusted"
+
+
+def test_own_block_allowed(checker):
+    assert checker.check(0x300) == "memmap"
+    assert checker.check(0x30F) == "memmap"
+
+
+def test_foreign_block_faults(checker):
+    with pytest.raises(MemMapFault) as e:
+        checker.check(0x310)
+    assert e.value.owner == 1
+    with pytest.raises(MemMapFault):
+        checker.check(0x400)   # free = trusted-owned
+
+
+def test_stack_window_allowed(checker):
+    assert checker.check(0xD50) == "stack"
+    assert checker.check(0xF00) == "stack"  # at the bound is still ours
+
+
+def test_above_stack_bound_faults(checker):
+    with pytest.raises(StackBoundFault):
+        checker.check(0xF01)
+    with pytest.raises(StackBoundFault):
+        checker.check(0xFFF)
+
+
+def test_below_protected_region_faults(checker):
+    with pytest.raises(UntrustedAccessFault):
+        checker.check(0x1FF)
+    with pytest.raises(UntrustedAccessFault):
+        checker.check(0x005)  # register file
+
+
+def test_allowed_helper(checker):
+    assert checker.allowed(0x300)
+    assert not checker.allowed(0x310)
+
+
+@given(st.integers(0, 0xFFF))
+def test_property_exactly_one_rule_applies(addr):
+    """For any address the checker either allows or raises exactly one
+    typed fault — and trusted always passes."""
+    memmap = MemoryMap(MemMapConfig(0x200, 0xCFF, 8, "multi"))
+    memmap.set_segment(0x300, 64, 0)
+    ctx = CheckContext(memmap, cur_domain=0, stack_bound=0xF00)
+    wc = WriteChecker(ctx)
+    assert wc.check(addr, TRUSTED_DOMAIN) == "trusted"
+    try:
+        rule = wc.check(addr, 0)
+    except StackBoundFault:
+        assert addr > 0xF00
+    except MemMapFault:
+        assert 0x200 <= addr <= 0xCFF
+        assert not (0x300 <= addr < 0x340)
+    except UntrustedAccessFault:
+        assert addr < 0x200
+    else:
+        if rule == "memmap":
+            assert 0x300 <= addr < 0x340
+        elif rule == "stack":
+            assert 0xCFF < addr <= 0xF00
+
+
+# ---------------------------------------------------------------------
+# safe stack
+# ---------------------------------------------------------------------
+def test_safe_stack_return_frames():
+    ss = SafeStack(0xC00, 0xD00)
+    ss.push_return(0x1234)
+    ss.push_return(0x5678)
+    assert ss.depth_bytes == 4
+    assert ss.pop_return() == 0x5678
+    assert ss.pop_return() == 0x1234
+    assert ss.depth_bytes == 0
+
+
+def test_safe_stack_cross_domain_frames():
+    ss = SafeStack(0xC00, 0xD00)
+    ss.push_cross_domain(3, 0xE80, 0x2222)
+    assert ss.depth_bytes == CROSS_DOMAIN_FRAME_BYTES
+    frame = ss.pop_cross_domain()
+    assert frame.prev_domain == 3
+    assert frame.prev_stack_bound == 0xE80
+    assert frame.ret_addr == 0x2222
+
+
+def test_safe_stack_mixed_frames_lifo():
+    ss = SafeStack(0xC00, 0xD00)
+    ss.push_cross_domain(1, 0xF00, 0x1000)
+    ss.push_return(0xAAAA)
+    assert ss.pop_return() == 0xAAAA
+    assert ss.pop_cross_domain().prev_domain == 1
+
+
+def test_safe_stack_overflow():
+    ss = SafeStack(0xC00, 0xC04)
+    ss.push_return(1)
+    ss.push_return(2)
+    with pytest.raises(SafeStackOverflow):
+        ss.push_return(3)
+
+
+def test_safe_stack_underflow():
+    ss = SafeStack(0xC00, 0xD00)
+    with pytest.raises(SafeStackUnderflow):
+        ss.pop_return()
+
+
+def test_safe_stack_reset():
+    ss = SafeStack(0xC00, 0xD00)
+    ss.push_return(1)
+    ss.reset()
+    assert ss.depth_bytes == 0
+
+
+@given(st.lists(st.integers(0, 0xFFFF), max_size=50))
+def test_property_safe_stack_is_lifo(values):
+    ss = SafeStack(0, 4096)
+    for v in values:
+        ss.push_return(v)
+    for v in reversed(values):
+        assert ss.pop_return() == v
+
+
+# ---------------------------------------------------------------------
+# jump table geometry
+# ---------------------------------------------------------------------
+def test_jump_table_geometry():
+    jt = JumpTable(base=0x1000, ndomains=8)
+    assert jt.page_bytes == 512
+    assert jt.end == 0x2000
+    assert jt.total_flash_bytes == 4096
+    assert jt.entry_addr(0, 0) == 0x1000
+    assert jt.entry_addr(0, 127) == 0x1000 + 127 * 4
+    assert jt.entry_addr(7, 0) == 0x1E00
+    assert jt.contains(0x1000) and jt.contains(0x1FFC)
+    assert not jt.contains(0x0FFF) and not jt.contains(0x2000)
+
+
+def test_jump_table_classify():
+    jt = JumpTable(base=0x1000, ndomains=4)
+    assert jt.classify(0x1000) == (0, 0)
+    assert jt.classify(0x1204) == (1, 1)
+    with pytest.raises(JumpTableFault):
+        jt.classify(0x0F00)          # below base
+    with pytest.raises(JumpTableFault):
+        jt.classify(0x1000 + 4 * 512)  # beyond upper bound
+    with pytest.raises(JumpTableFault):
+        jt.classify(0x1002)          # misaligned
+
+
+def test_jump_table_entry_bounds():
+    jt = JumpTable(base=0x1000, ndomains=2)
+    with pytest.raises(ValueError):
+        jt.entry_addr(0, 128)
+    with pytest.raises(ValueError):
+        jt.entry_addr(2, 0)
+
+
+@given(st.integers(0, 7), st.integers(0, 127))
+def test_property_classify_inverts_entry_addr(domain, index):
+    jt = JumpTable(base=0x1000, ndomains=8)
+    assert jt.classify(jt.entry_addr(domain, index)) == (domain, index)
+
+
+# ---------------------------------------------------------------------
+# cross-domain manager
+# ---------------------------------------------------------------------
+def manager():
+    jt = JumpTable(base=0x1000, ndomains=8)
+    ss = SafeStack(0xC00, 0xD00)
+    return CrossDomainManager(jt, ss, initial_stack_bound=0xFFF)
+
+
+def test_cross_domain_call_and_return():
+    m = manager()
+    callee = m.cross_domain_call(0x1000 + 2 * 512, ret_word_addr=0x80,
+                                 sp=0xE00)
+    assert callee == 2
+    assert m.cur_domain == 2
+    assert m.stack_bound == 0xE00
+    assert m.nesting == 1
+    frame = m.on_return()
+    assert frame.prev_domain == TRUSTED_DOMAIN
+    assert m.cur_domain == TRUSTED_DOMAIN
+    assert m.stack_bound == 0xFFF
+    assert m.nesting == 0
+
+
+def test_chained_cross_domain_calls():
+    """Domain A calls B which calls C (the paper's chaining case)."""
+    m = manager()
+    m.cross_domain_call(0x1000, 0x10, sp=0xF00)       # -> domain 0
+    m.cross_domain_call(0x1200, 0x20, sp=0xE80)       # -> domain 1
+    m.cross_domain_call(0x1400, 0x30, sp=0xE00)       # -> domain 2
+    assert m.cur_domain == 2 and m.nesting == 3
+    assert m.on_return().prev_domain == 1
+    assert m.on_return().prev_domain == 0
+    assert m.on_return().prev_domain == TRUSTED_DOMAIN
+    assert m.stack_bound == 0xFFF
+
+
+def test_local_calls_do_not_close_frames():
+    m = manager()
+    m.cross_domain_call(0x1000, 0x10, sp=0xF00)
+    m.local_call()
+    m.local_call()
+    assert m.on_return() is None
+    assert m.on_return() is None
+    assert m.cur_domain == 0
+    frame = m.on_return()
+    assert frame is not None
+    assert m.cur_domain == TRUSTED_DOMAIN
+
+
+def test_return_with_no_frame_is_ordinary():
+    m = manager()
+    assert m.on_return() is None
+
+
+def test_classify_call_confinement():
+    m = manager()
+    m.register_code_region(0, 0x4000, 0x5000)
+    m.cross_domain_call(0x1000, 0, sp=0xF00)  # now in domain 0
+    assert m.classify_call(0x4200) == "local"
+    assert m.classify_call(0x1200) == "cross"
+    with pytest.raises(JumpTableFault):
+        m.classify_call(0x6000)
+    with pytest.raises(JumpTableFault):
+        m.classify_call(0x0100)  # the trusted kernel's code
+
+
+def test_trusted_calls_anywhere():
+    m = manager()
+    assert m.classify_call(0x8000) == "local"
+
+
+@given(st.lists(st.sampled_from(["xcall", "call", "ret"]), max_size=60))
+def test_property_domain_tracking_is_balanced(script):
+    """Random call/return interleavings never unbalance the tracker:
+    after all frames close, the trusted domain and the original stack
+    bound are restored."""
+    m = manager()
+    depth_model = []  # mirror: list of local-call depths
+    domains = [TRUSTED_DOMAIN]
+    for op in script:
+        if op == "xcall":
+            if m.nesting >= 7:
+                continue
+            target_dom = (domains[-1] + 1) % 7
+            m.cross_domain_call(0x1000 + target_dom * 512, 0, sp=0xE00)
+            depth_model.append(0)
+            domains.append(target_dom)
+        elif op == "call":
+            m.local_call()
+            if depth_model:
+                depth_model[-1] += 1
+        else:
+            frame = m.on_return()
+            if depth_model and depth_model[-1] > 0:
+                depth_model[-1] -= 1
+                assert frame is None
+            elif depth_model:
+                depth_model.pop()
+                domains.pop()
+                assert frame is not None
+            else:
+                assert frame is None
+        assert m.cur_domain == domains[-1]
+        assert m.nesting == len(depth_model)
+    while depth_model:
+        if depth_model[-1] > 0:
+            depth_model[-1] -= 1
+            assert m.on_return() is None
+        else:
+            depth_model.pop()
+            domains.pop()
+            assert m.on_return() is not None
+    assert m.cur_domain == TRUSTED_DOMAIN
+    assert m.stack_bound == 0xFFF

@@ -1,0 +1,152 @@
+"""Sanity of the instruction spec table itself."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCH_ALIASES,
+    FLAG_ALIASES,
+    REG_ALIASES,
+    SPECS,
+    SPEC_BY_KEY,
+    SPEC_BY_MNEMONIC,
+    spec_for,
+)
+from repro.isa.registers import ATMEGA103, IoReg, SREG_BITS, pair_name
+
+
+def test_keys_unique():
+    keys = [s.key for s in SPECS]
+    assert len(keys) == len(set(keys))
+
+
+def test_pattern_lengths():
+    for spec in SPECS:
+        bits = spec.pattern.replace(" ", "")
+        assert len(bits) in (16, 32), spec.key
+        assert spec.size_words == len(bits) // 16
+        assert spec.size_bytes == spec.size_words * 2
+
+
+def test_pattern_field_letters_match_operands():
+    for spec in SPECS:
+        bits = spec.pattern.replace(" ", "")
+        letters = {c for c in bits if c not in "01"}
+        declared = {op.letter for op in spec.operands}
+        assert letters == declared, spec.key
+
+
+def test_cycles_positive_and_sane():
+    for spec in SPECS:
+        assert 1 <= spec.cycles <= 4, spec.key
+
+
+@pytest.mark.parametrize("key,cycles", [
+    ("add", 1), ("ldi", 1), ("mov", 1), ("movw", 1), ("in", 1), ("out", 1),
+    ("adiw", 2), ("mul", 2), ("ld_x", 2), ("st_x", 2), ("lds", 2),
+    ("sts", 2), ("push", 2), ("pop", 2), ("sbi", 2), ("rjmp", 2),
+    ("ijmp", 2), ("jmp", 3), ("rcall", 3), ("icall", 3), ("lpm", 3),
+    ("call", 4), ("ret", 4), ("reti", 4),
+])
+def test_datasheet_cycle_costs(key, cycles):
+    assert spec_for(key).cycles == cycles
+
+
+def test_store_specs_classified():
+    stores = [s for s in SPECS if s.kind == "store"]
+    assert {s.key for s in stores} == {
+        "st_x", "st_xp", "st_mx", "st_yp", "st_my", "st_zp", "st_mz",
+        "std_y", "std_z", "sts"}
+
+
+def test_call_specs_classified():
+    calls = [s.key for s in SPECS if s.kind == "call"]
+    assert set(calls) == {"call", "rcall", "icall"}
+
+
+def test_mnemonic_variants():
+    assert len(SPEC_BY_MNEMONIC["ld"]) == 7
+    assert len(SPEC_BY_MNEMONIC["st"]) == 7
+    assert len(SPEC_BY_MNEMONIC["ldd"]) == 2
+    assert len(SPEC_BY_MNEMONIC["std"]) == 2
+    assert len(SPEC_BY_MNEMONIC["lpm"]) == 3
+
+
+def test_branch_aliases_complete():
+    # every SREG flag has a set- and clear- branch alias
+    flags = set(range(8))
+    bs_flags = {f for (k, f) in BRANCH_ALIASES.values() if k == "brbs"}
+    bc_flags = {f for (k, f) in BRANCH_ALIASES.values() if k == "brbc"}
+    assert bs_flags == flags
+    assert bc_flags == flags
+
+
+def test_flag_aliases_complete():
+    set_flags = {f for (k, f) in FLAG_ALIASES.values() if k == "bset"}
+    clr_flags = {f for (k, f) in FLAG_ALIASES.values() if k == "bclr"}
+    assert set_flags == set(range(8))
+    assert clr_flags == set(range(8))
+
+
+def test_reg_aliases():
+    assert REG_ALIASES == {"lsl": "add", "rol": "adc", "tst": "and",
+                           "clr": "eor"}
+
+
+def test_spec_for_unknown_raises():
+    with pytest.raises(KeyError):
+        spec_for("frobnicate")
+
+
+def test_modes_on_ldst():
+    assert SPEC_BY_KEY["ld_xp"].modes["post_inc"]
+    assert SPEC_BY_KEY["ld_mx"].modes["pre_dec"]
+    assert SPEC_BY_KEY["std_y"].modes["disp"]
+    assert SPEC_BY_KEY["st_x"].modes["ptr"] == "X"
+    assert SPEC_BY_KEY["std_z"].modes["ptr"] == "Z"
+
+
+# ---------------------------------------------------------------------
+# geometry / registers
+# ---------------------------------------------------------------------
+def test_atmega103_geometry():
+    g = ATMEGA103
+    assert g.flash_bytes == 131072
+    assert g.flash_words == 65536
+    assert g.sram_start == 0x60
+    assert g.data_end == 0x0FFF
+    assert g.data_space_bytes == 4096
+    assert g.sram_bytes == 4000
+    assert g.ramend == 0x0FFF
+
+
+def test_geometry_classification():
+    g = ATMEGA103
+    assert g.is_register(0) and g.is_register(31)
+    assert not g.is_register(32)
+    assert g.is_io(0x20) and g.is_io(0x5F)
+    assert not g.is_io(0x60)
+    assert g.is_sram(0x60) and g.is_sram(0xFFF)
+    assert not g.is_sram(0x1000)
+
+
+def test_sreg_bits():
+    assert SREG_BITS.bit("C") == 0
+    assert SREG_BITS.bit("I") == 7
+    assert SREG_BITS.name(1) == "Z"
+    assert SREG_BITS.name(SREG_BITS.bit("H")) == "H"
+
+
+def test_pair_names():
+    assert pair_name(26) == "X"
+    assert pair_name(28) == "Y"
+    assert pair_name(30) == "Z"
+    assert pair_name(2) == "r3:r2"
+
+
+def test_umpu_register_window():
+    assert IoReg.MEM_MAP_BASE_L in IoReg.UMPU_REGISTERS
+    assert IoReg.UMPU_CTRL in IoReg.UMPU_REGISTERS
+    assert IoReg.SPL not in IoReg.UMPU_REGISTERS
+    # the window must not collide with SPL/SPH/SREG
+    for io in IoReg.UMPU_REGISTERS:
+        assert io not in (IoReg.SPL, IoReg.SPH, IoReg.SREG)

@@ -1,0 +1,154 @@
+"""Stress the assembly allocator with random operation sequences.
+
+The asm first-fit allocator is the most intricate hand-written code in
+the runtime; this suite replays random malloc/free/change_own sequences
+on the simulator and checks the global invariants after every step:
+
+* returned segments never overlap and cover their requests;
+* the memory map's codes agree with the header owners for every live
+  allocation, and freed blocks read as free;
+* the free list is a terminating, heap-confined chain whose total bytes
+  plus live bytes equals the heap;
+* allocate-everything-free-everything restores full capacity.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sfi.layout import SfiLayout
+from repro.sim import Machine
+
+LAYOUT = SfiLayout()
+
+
+def fresh_machine(runtime_program):
+    machine = Machine(runtime_program)
+    machine.call("hb_init", max_cycles=100000)
+    return machine
+
+
+def gross(nbytes):
+    return (nbytes + LAYOUT.heap_header + 7) & ~7
+
+
+def walk_free_list(machine):
+    """Follow the free list; returns [(addr, size)], asserting sanity."""
+    out = []
+    node = machine.read_word(LAYOUT.freelist)
+    seen = set()
+    while node:
+        assert LAYOUT.heap_start <= node < LAYOUT.heap_end, hex(node)
+        assert node not in seen, "free list cycle"
+        seen.add(node)
+        size = machine.read_word(node)
+        assert size >= 8 and size % 8 == 0
+        assert node + size <= LAYOUT.heap_end
+        out.append((node, size))
+        node = machine.read_word(node + 2)
+        assert len(out) < 512, "free list runaway"
+    return out
+
+
+def memmap_code(machine, addr):
+    cfg = LAYOUT.memmap_config
+    block = cfg.block_of(addr)
+    byte = machine.memory.read_data(LAYOUT.memmap_table + block // 2)
+    return (byte >> (4 * (block % 2))) & 0xF
+
+
+def check_invariants(machine, live):
+    """*live* is {user_ptr: (nbytes, owner)}."""
+    # 1. disjoint segments, headers consistent, memmap agrees
+    spans = []
+    for ptr, (nbytes, owner) in live.items():
+        base = ptr - LAYOUT.heap_header
+        size = machine.read_word(base)
+        assert size == gross(nbytes)
+        assert machine.memory.read_data(base + 2) == owner
+        spans.append((base, base + size))
+        for off in range(0, size, 8):
+            code = memmap_code(machine, base + off)
+            assert code >> 1 == owner
+            assert (code & 1) == (1 if off == 0 else 0)
+    spans.sort()
+    for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+        assert a1 <= b0, "overlapping allocations"
+    # 2. free list accounting
+    free = walk_free_list(machine)
+    free_bytes = sum(size for _a, size in free)
+    live_bytes = sum(gross(n) for n, _o in live.values())
+    assert free_bytes + live_bytes == LAYOUT.heap_end - LAYOUT.heap_start
+    # 3. free nodes marked free in the memory map
+    for addr, size in free:
+        for off in range(0, size, 8):
+            assert memmap_code(machine, addr + off) == 0xF
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["malloc", "free", "chown"]),
+              st.integers(1, 100), st.integers(0, 6)),
+    min_size=1, max_size=40))
+def test_property_asm_allocator_invariants(runtime_program_global, ops):
+    machine = fresh_machine(runtime_program_global)
+    live = {}
+    for op, size, dom in ops:
+        if op == "malloc":
+            machine.memory.write_data(LAYOUT.cur_dom, dom)
+            machine.call("hb_malloc", size, max_cycles=100000)
+            ptr = machine.result16()
+            if ptr:
+                live[ptr] = (size, dom)
+        elif op == "free" and live:
+            ptr = sorted(live)[size % len(live)]
+            _n, owner = live.pop(ptr)
+            machine.memory.write_data(LAYOUT.cur_dom, owner)
+            machine.call("hb_free", ptr, max_cycles=100000)
+        elif op == "chown" and live:
+            ptr = sorted(live)[size % len(live)]
+            nbytes, owner = live[ptr]
+            machine.memory.write_data(LAYOUT.cur_dom, owner)
+            machine.call("hb_change_own", ptr, ("u8", dom),
+                         max_cycles=100000)
+            live[ptr] = (nbytes, dom)
+        assert not machine.core.halted, "unexpected fault"
+        check_invariants(machine, live)
+
+
+def test_alloc_all_free_all_restores_capacity(runtime_program_global):
+    machine = fresh_machine(runtime_program_global)
+    ptrs = []
+    while True:
+        machine.call("hb_malloc", 56, max_cycles=100000)
+        ptr = machine.result16()
+        if not ptr:
+            break
+        ptrs.append(ptr)
+    assert len(ptrs) == (LAYOUT.heap_end - LAYOUT.heap_start) // 64
+    for ptr in ptrs:
+        machine.call("hb_free", ptr, max_cycles=100000)
+    # note: the asm allocator does not coalesce, but same-size reuse
+    # must recover every slot
+    again = []
+    while True:
+        machine.call("hb_malloc", 56, max_cycles=100000)
+        ptr = machine.result16()
+        if not ptr:
+            break
+        again.append(ptr)
+    assert sorted(again) == sorted(ptrs)
+
+
+def test_writes_within_allocation_never_corrupt_metadata(
+        runtime_program_global):
+    """Filling every byte of an allocation touches no header of any
+    *other* allocation and no free-list node."""
+    machine = fresh_machine(runtime_program_global)
+    machine.call("hb_malloc", 24)
+    a = machine.result16()
+    machine.call("hb_malloc", 24)
+    b = machine.result16()
+    for i in range(24):
+        machine.memory.write_data(a + i, 0xAA)
+    assert machine.read_word(b - LAYOUT.heap_header) == gross(24)
+    walk_free_list(machine)
+    check_invariants(machine, {a: (24, 7), b: (24, 7)})

@@ -1,0 +1,247 @@
+"""SfiSystem end-to-end: load modules, cross-domain calls, faults."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.faults import (
+    MemMapFault,
+    OwnershipFault,
+    StackBoundFault,
+)
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.sfi import SfiSystem
+from repro.sfi.verifier import VerifyError
+
+
+@pytest.fixture
+def system():
+    return SfiSystem()
+
+
+MODULE = """
+.equ KERNEL_MALLOC = {KERNEL_MALLOC}
+.equ KERNEL_FREE = {KERNEL_FREE}
+.equ KERNEL_CHANGE_OWN = {KERNEL_CHANGE_OWN}
+
+alloc_and_fill:             ; r24:25 = value -> r24:25 = buffer
+    push r16
+    push r17
+    movw r16, r24
+    ldi r24, 8
+    ldi r25, 0
+    call KERNEL_MALLOC
+    cp r24, r1
+    cpc r25, r1
+    breq done
+    movw r26, r24
+    st X+, r16
+    st X, r17
+done:
+    pop r17
+    pop r16
+    ret
+
+poke:                       ; r24:25 = address, r22 = value
+    movw r26, r24
+    mov r18, r22
+    st X, r18
+    ret
+
+give_away:                  ; r24:25 = buffer, r22 = new domain
+    call KERNEL_CHANGE_OWN
+    ret
+
+release:                    ; r24:25 = buffer
+    call KERNEL_FREE
+    ret
+"""
+
+
+def load(system, name="mod"):
+    src = MODULE.format(**{k: hex(v)
+                           for k, v in system.kernel_symbols().items()})
+    return system.load_module(
+        assemble(src, name), name,
+        exports=("alloc_and_fill", "poke", "give_away", "release"))
+
+
+def test_module_loads_and_verifies(system):
+    mod = load(system)
+    assert mod.domain == 0
+    assert set(mod.exports) == {"alloc_and_fill", "poke", "give_away",
+                                "release"}
+    assert mod.rewrite_stats["stores"] == 3
+
+
+def test_kernel_malloc_attributed_to_caller(system):
+    mod = load(system)
+    ptr, _cycles = system.call_export("mod", "alloc_and_fill", 0xBEEF)
+    assert ptr
+    assert system.memmap.owner_of(ptr) == mod.domain
+    assert system.machine.read_word(ptr) == 0xBEEF
+
+
+def test_domain_state_restored_after_export(system):
+    load(system)
+    system.call_export("mod", "alloc_and_fill", 1)
+    assert system.cur_domain == TRUSTED_DOMAIN
+    ss = system.machine.read_word(system.layout.ss_ptr)
+    assert ss == system.layout.safe_stack_base
+
+
+def test_module_cannot_poke_trusted_memory(system):
+    load(system)
+    victim = system.malloc(8)
+    with pytest.raises(MemMapFault):
+        system.call_export("mod", "poke", victim, ("u8", 0x66))
+    assert system.machine.memory.read_data(victim) == 0
+
+
+def test_two_modules_isolated(system):
+    load(system, "alice")
+    load(system, "bob")
+    pa, _ = system.call_export("alice", "alloc_and_fill", 0x1111)
+    pb, _ = system.call_export("bob", "alloc_and_fill", 0x2222)
+    assert system.memmap.owner_of(pa) == 0
+    assert system.memmap.owner_of(pb) == 1
+    # bob cannot poke alice's buffer
+    with pytest.raises(MemMapFault):
+        system.call_export("bob", "poke", pa, ("u8", 0x66))
+    # alice still can
+    system.call_export("alice", "poke", pa, ("u8", 0x77))
+    assert system.machine.memory.read_data(pa) == 0x77
+
+
+def test_change_own_transfers_between_modules(system):
+    load(system, "alice")
+    load(system, "bob")
+    pa, _ = system.call_export("alice", "alloc_and_fill", 0x1234)
+    system.call_export("alice", "give_away", pa, ("u8", 1))
+    assert system.memmap.owner_of(pa) == 1
+    system.call_export("bob", "poke", pa, ("u8", 0x55))  # now allowed
+    with pytest.raises(MemMapFault):
+        system.call_export("alice", "poke", pa, ("u8", 0x66))
+
+
+def test_module_frees_own_buffer(system):
+    load(system)
+    ptr, _ = system.call_export("mod", "alloc_and_fill", 1)
+    system.call_export("mod", "release", ptr)
+    assert system.memmap.owner_of(ptr) == TRUSTED_DOMAIN
+
+
+def test_module_cannot_free_foreign_buffer(system):
+    load(system, "alice")
+    load(system, "bob")
+    pa, _ = system.call_export("alice", "alloc_and_fill", 1)
+    with pytest.raises(OwnershipFault):
+        system.call_export("bob", "release", pa)
+
+
+def test_unsafe_module_rejected_at_load(system):
+    # craft a program the rewriter passes but the verifier must reject:
+    # simplest: bypass the rewriter entirely by loading raw stores is
+    # impossible through load_module, so check the rewriter/verifier
+    # pair rejects a module with a computed jump
+    src = "f:\n    ijmp\n    ret\n"
+    from repro.sfi.rewriter import RewriteError
+    with pytest.raises((RewriteError, VerifyError)):
+        system.load_module(assemble(src, "evil"), "evil", exports=("f",))
+
+
+def test_verifier_guards_against_malicious_rewriter(system):
+    """Simulate a compromised rewriter: install a module image with a
+    raw store; the system-level verifier must reject it."""
+    raw = assemble(".org {}\nf:\n    st X, r5\n    ret\n".format(
+        system._next_load), "evil")
+    with pytest.raises(VerifyError):
+        system.verifier.verify(raw, system._next_load,
+                               system._next_load + 4)
+
+
+def test_stack_bound_protects_caller_frames(system):
+    """A module writing above its stack bound (the kernel's frames)
+    faults."""
+    src = """
+    f:
+        ldi r26, 0xF0
+        ldi r27, 0x0F       ; 0x0FF0: deep in the caller's stack
+        ldi r18, 0x66
+        st X, r18
+        ret
+    """
+    system.load_module(assemble(src, "stackmod"), "stackmod",
+                       exports=("f",))
+    # give the kernel some stack frames below RAMEND before dispatching
+    system.machine.memory.sp = 0x0F00
+    with pytest.raises(StackBoundFault):
+        system.call_export("stackmod", "f")
+
+
+def test_module_own_stack_frames_writable(system):
+    """Locals in the module's own stack frame are fine.
+
+    (Note: the write targets SP+1, i.e. allocated frame bytes — writing
+    at the free slot [SP] itself would collide with the check stub's own
+    call frame, an inherent artifact of non-inlined SFI checks; compiled
+    code never writes the free slot.)"""
+    src = """
+    f:
+        push r16
+        push r17            ; ordinary stack traffic
+        in r26, SPL
+        in r27, SPH
+        adiw r26, 1         ; last allocated frame byte
+        ldi r18, 0x42
+        st X, r18
+        pop r17
+        pop r16
+        ret
+    """
+    system.load_module(assemble(src, "stackmod2"), "stackmod2",
+                       exports=("f",))
+    system.call_export("stackmod2", "f")
+
+
+def test_many_modules_until_domains_exhausted(system):
+    src = "f:\n    nop\n    ret\n"
+    for i in range(7):
+        system.load_module(assemble(src, "m%d" % i), "m%d" % i,
+                           exports=("f",))
+    with pytest.raises(ValueError):
+        system.load_module(assemble(src, "m7"), "m7", exports=("f",))
+
+
+def test_modules_loaded_at_distinct_regions(system):
+    a = load(system, "alice")
+    b = load(system, "bob")
+    assert a.end <= b.start
+
+
+def test_kernel_exports_published(system):
+    syms = system.kernel_symbols()
+    assert {"KERNEL_MALLOC", "KERNEL_FREE", "KERNEL_CHANGE_OWN",
+            "KERNEL_NOOP"} <= set(syms)
+    jt = system.jump_table
+    for value in syms.values():
+        assert jt.contains(value)
+
+
+def test_module_exports_published_for_later_modules(system):
+    load(system, "alice")
+    syms = system.kernel_symbols()
+    assert "JT_ALICE_POKE" in syms
+    # a second module can call alice through her jump table entry
+    src = """
+    .equ TARGET = {JT_ALICE_ALLOC_AND_FILL}
+    f:
+        ldi r24, 0x34
+        ldi r25, 0x12
+        call TARGET
+        ret
+    """.format(**{k: hex(v) for k, v in syms.items()})
+    system.load_module(assemble(src, "carol"), "carol", exports=("f",))
+    ptr, _ = system.call_export("carol", "f")
+    assert ptr
+    # the buffer belongs to ALICE (she called malloc)
+    assert system.memmap.owner_of(ptr) == 0

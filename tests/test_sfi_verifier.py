@@ -1,0 +1,179 @@
+"""On-node verifier: accepts rewriter output, rejects everything unsafe.
+
+The key property (the paper's trust argument): feed the verifier
+*unsandboxed* binaries and hand-crafted attacks — it must reject every
+one, without needing to know how they were produced.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sfi.layout import SfiLayout
+from repro.sfi.rewriter import Rewriter
+from repro.sfi.runtime_asm import build_runtime
+from repro.sfi.verifier import Verifier, VerifyError
+
+LAYOUT = SfiLayout()
+RUNTIME = build_runtime(LAYOUT)
+ORIGIN = LAYOUT.jt_end
+
+
+@pytest.fixture
+def verifier():
+    return Verifier(RUNTIME.symbols, LAYOUT)
+
+
+@pytest.fixture
+def rewriter():
+    return Rewriter(RUNTIME.symbols, LAYOUT)
+
+
+def verify_src(verifier, src, origin=ORIGIN):
+    program = assemble(".org {}\n".format(origin) + src, "attack")
+    lo, hi = program.extent()
+    return verifier.verify(program, lo * 2, (hi + 1) * 2)
+
+
+# ---------------------------------------------------------------------
+# rewriter output is accepted
+# ---------------------------------------------------------------------
+GOOD_MODULE = """
+entry:
+    push r16
+    ldi r16, 4
+    movw r26, r24
+loop:
+    st X+, r16
+    dec r16
+    brne loop
+    call helper
+    pop r16
+    ret
+helper:
+    sts 0x0400, r16
+    ret
+"""
+
+
+def test_rewritten_module_verifies(verifier, rewriter):
+    res = rewriter.rewrite(assemble(GOOD_MODULE, "mod"), ORIGIN,
+                           exports=("entry",))
+    report = verifier.verify(res.program, res.start, res.end)
+    assert report.instructions > 10
+    assert report.rets == 2
+    assert report.calls_to_runtime >= 4  # prologues, stores, epilogues
+    assert report.internal_calls == 1
+
+
+def test_verifier_independent_of_rewriter(verifier):
+    """Hand-written code following the rules also verifies — the
+    verifier checks properties, not provenance."""
+    stub = RUNTIME.symbol("hb_restore_ret")
+    save = RUNTIME.symbol("hb_save_ret")
+    src = """
+        call {save:#x}
+        nop
+        call {stub:#x}
+        ret
+    """.format(save=save, stub=stub)
+    report = verify_src(verifier, src)
+    assert report.rets == 1
+
+
+# ---------------------------------------------------------------------
+# rejections
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("body,fragment", [
+    ("    st X, r5\n", "forbidden"),
+    ("    st Y+, r5\n", "forbidden"),
+    ("    std Z+3, r5\n", "forbidden"),
+    ("    sts 0x0400, r5\n", "forbidden"),
+    ("    icall\n", "forbidden"),
+    ("    ijmp\n", "forbidden"),
+    ("    break\n", "forbidden"),
+    ("    reti\n", "forbidden"),
+    ("    out SPL, r16\n", "protected I/O"),
+    ("    out SPH, r16\n", "protected I/O"),
+    ("    out SREG, r16\n", "protected I/O"),
+    ("    out 0x22, r16\n", "protection register"),
+    ("    out 0x11, r16\n", "unapproved I/O"),
+    ("    sbi 0x11, 2\n", "unapproved I/O"),
+    ("    call 0x0100\n", "escapes"),       # into the trusted runtime
+    ("    rjmp 0x1f00\n", "escapes"),
+    ("    jmp 0x8000\n", "escapes"),
+    ("    breq 0x1fc0\n", "escapes"),
+    ("    ret\n", "not preceded"),
+])
+def test_unsafe_code_rejected(verifier, body, fragment):
+    with pytest.raises(VerifyError) as err:
+        verify_src(verifier, body + "    nop\n")
+    assert fragment in str(err.value)
+
+
+def test_direct_jump_table_call_rejected(verifier):
+    """Cross-domain transfers must go through hb_xdom_call, never call
+    the jump table directly (that would skip domain tracking)."""
+    with pytest.raises(VerifyError):
+        verify_src(verifier, "    call {}\n    nop\n".format(LAYOUT.jt_base))
+
+
+def test_undecodable_word_rejected(verifier):
+    program = assemble(".org {}\n    nop\n.dw 0xFFFF\n".format(ORIGIN))
+    lo, hi = program.extent()
+    with pytest.raises(VerifyError) as err:
+        verifier.verify(program, lo * 2, (hi + 1) * 2)
+    assert "undecodable" in str(err.value)
+
+
+def test_branch_into_mid_instruction_rejected(verifier):
+    """Jumping into the second word of a 32-bit instruction would
+    execute a phantom opcode — the boundary check catches it."""
+    save = RUNTIME.symbol("hb_save_ret")
+    # `call` is 2 words; branch to its second word
+    src = """
+    a:
+        rjmp a + 4
+        call {save:#x}
+        nop
+    """.format(save=save)
+    with pytest.raises(VerifyError) as err:
+        verify_src(verifier, src)
+    assert "middle of an instruction" in str(err.value)
+
+
+def test_ret_after_other_runtime_call_rejected(verifier):
+    save = RUNTIME.symbol("hb_save_ret")
+    with pytest.raises(VerifyError) as err:
+        verify_src(verifier, "    call {:#x}\n    ret\n".format(save))
+    assert "not preceded" in str(err.value)
+
+
+def test_allowed_io_whitelist():
+    v = Verifier(RUNTIME.symbols, LAYOUT, allowed_io=(0x18,))
+    program = assemble(".org {}\n    out 0x18, r16\n    nop\n".format(ORIGIN))
+    lo, hi = program.extent()
+    v.verify(program, lo * 2, (hi + 1) * 2)   # passes
+    with pytest.raises(VerifyError):
+        program = assemble(".org {}\n    out 0x19, r16\n".format(ORIGIN))
+        lo, hi = program.extent()
+        v.verify(program, lo * 2, (hi + 1) * 2)
+
+
+def test_loads_and_pushes_allowed(verifier):
+    """Reads and stack pushes are safe (bound-checked at run time)."""
+    verify_src(verifier, """
+        push r16
+        lds r16, 0x0100
+        ld r17, X+
+        ldd r18, Y+3
+        in r19, 0x05
+        pop r16
+        nop
+    """)
+
+
+def test_report_boundaries(verifier):
+    report = verify_src(verifier, "    nop\n    jmp {}\n".format(ORIGIN))
+    assert report.start == ORIGIN
+    assert ORIGIN in report.boundaries
+    assert ORIGIN + 2 in report.boundaries

@@ -1,0 +1,294 @@
+"""Control flow: branches, skips, calls/returns; cycle accounting."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import BadOpcode, CycleLimitExceeded, Machine
+
+
+def machine(src):
+    return Machine(assemble(src))
+
+
+# ---------------------------------------------------------------------
+# jumps and branches
+# ---------------------------------------------------------------------
+def test_rjmp_and_jmp():
+    m = machine("""
+        rjmp step2
+        ldi r16, 1          ; skipped
+    step2:
+        jmp step3
+        ldi r16, 2          ; skipped
+    step3:
+        ldi r17, 3
+        break
+    """)
+    m.run()
+    assert m.core.reg(16) == 0
+    assert m.core.reg(17) == 3
+
+
+def test_ijmp():
+    m = machine("""
+        ldi r30, pm_lo8(target)
+        ldi r31, pm_hi8(target)
+        ijmp
+        ldi r16, 1
+    target:
+        ldi r17, 9
+        break
+    """)
+    m.run()
+    assert m.core.reg(16) == 0
+    assert m.core.reg(17) == 9
+
+
+def test_branch_taken_and_not_taken():
+    m = machine("""
+        ldi r16, 1
+        dec r16             ; Z set
+        breq taken
+        ldi r17, 1          ; skipped
+    taken:
+        dec r16             ; r16 = 0xFF, Z clear
+        breq not_taken
+        ldi r18, 2
+    not_taken:
+        break
+    """)
+    m.run()
+    assert m.core.reg(17) == 0
+    assert m.core.reg(18) == 2
+
+
+def test_loop_counts():
+    m = machine("""
+        ldi r16, 5
+        ldi r17, 0
+    loop:
+        inc r17
+        dec r16
+        brne loop
+        break
+    """)
+    m.run()
+    assert m.core.reg(17) == 5
+
+
+# ---------------------------------------------------------------------
+# skips
+# ---------------------------------------------------------------------
+def test_cpse_skips_when_equal():
+    m = machine("""
+        ldi r16, 5
+        ldi r17, 5
+        cpse r16, r17
+        ldi r18, 1          ; skipped
+        ldi r19, 2
+        break
+    """)
+    m.run()
+    assert m.core.reg(18) == 0
+    assert m.core.reg(19) == 2
+
+
+def test_cpse_skips_32bit_instruction():
+    m = machine("""
+        ldi r16, 5
+        ldi r17, 5
+        cpse r16, r17
+        call sub            ; 2-word instruction skipped whole
+        break
+    sub:
+        ldi r20, 0xEE
+        ret
+    """)
+    m.run()
+    assert m.core.reg(20) == 0
+
+
+def test_sbrc_sbrs():
+    m = machine("""
+        ldi r16, 0b00000100
+        sbrs r16, 2         ; bit set -> skipped
+        ldi r17, 1
+        sbrc r16, 2         ; bit set -> NOT skipped
+        ldi r18, 1
+        sbrc r16, 0         ; bit clear -> skipped
+        ldi r19, 1
+        break
+    """)
+    m.run()
+    assert m.core.reg(17) == 0
+    assert m.core.reg(18) == 1
+    assert m.core.reg(19) == 0
+
+
+def test_sbic_sbis():
+    m = machine("""
+        sbi 0x10, 1
+        sbic 0x10, 1        ; bit set -> NOT skipped
+        ldi r16, 1
+        sbis 0x10, 1        ; bit set -> skipped
+        ldi r17, 1
+        sbic 0x10, 0        ; bit clear -> skipped
+        ldi r18, 1
+        break
+    """)
+    m.run()
+    assert m.core.reg(16) == 1
+    assert m.core.reg(17) == 0
+    assert m.core.reg(18) == 0
+
+
+# ---------------------------------------------------------------------
+# calls and returns
+# ---------------------------------------------------------------------
+def test_call_ret():
+    m = machine("""
+        call fn
+        ldi r17, 2
+        break
+    fn:
+        ldi r16, 1
+        ret
+    """)
+    m.run()
+    assert m.core.reg(16) == 1
+    assert m.core.reg(17) == 2
+    assert m.memory.sp == m.geometry.ramend
+
+
+def test_rcall_icall_nested():
+    m = machine("""
+        rcall a
+        break
+    a:
+        ldi r30, pm_lo8(b)
+        ldi r31, pm_hi8(b)
+        icall
+        inc r16
+        ret
+    b:
+        ldi r16, 10
+        ret
+    """)
+    m.run()
+    assert m.core.reg(16) == 11
+
+
+def test_recursion():
+    # r24 = fib-ish counter: count down recursively, r17 counts frames
+    m = machine("""
+        ldi r24, 6
+        call recurse
+        break
+    recurse:
+        inc r17
+        subi r24, 1
+        breq done
+        call recurse
+    done:
+        ret
+    """)
+    m.run(max_cycles=10000)
+    assert m.core.reg(17) == 6
+    assert m.memory.sp == m.geometry.ramend
+
+
+def test_machine_call_abi():
+    m = machine("""
+    add16:                  ; (r25:r24, r23:r22) -> r25:r24
+        add r24, r22
+        adc r25, r23
+        ret
+    """)
+    cycles = m.call("add16", 0x1234, 0x0111)
+    assert m.result16() == 0x1345
+    assert cycles == 1 + 1 + 4  # add, adc, ret
+
+
+# ---------------------------------------------------------------------
+# cycle accounting
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("body,cycles", [
+    ("    nop\n", 1),
+    ("    ldi r16, 1\n", 1),
+    ("    add r16, r16\n", 1),
+    ("    adiw r26, 1\n", 2),
+    ("    ldi r26, 0\n    ldi r27, 2\n    st X, r0\n", 1 + 1 + 2),
+    ("    lds r0, 0x200\n", 2),
+    ("    push r0\n    pop r0\n", 4),
+    ("    rjmp next\nnext:\n", 2),
+    ("    jmp next\nnext:\n", 3),
+    ("    in r16, 0x3F\n", 1),
+    ("    sbi 0x10, 0\n", 2),
+    ("    lpm r16, Z\n", 3),
+])
+def test_instruction_cycles(body, cycles):
+    m = machine(body + "    break\n")
+    m.run()
+    assert m.core.cycles == cycles + 1  # + break
+
+
+def test_branch_cycles_taken_vs_not():
+    taken = machine("    sez\n    breq t\nt:\n    break\n")
+    taken.run()
+    not_taken = machine("    clz\n    breq t\nt:\n    break\n")
+    not_taken.run()
+    assert taken.core.cycles == not_taken.core.cycles + 1
+
+
+def test_call_ret_cycles():
+    m = machine("    call fn\n    break\nfn:\n    ret\n")
+    m.run()
+    assert m.core.cycles == 4 + 4 + 1
+
+
+def test_skip_cycles():
+    # skipping a 1-word instruction costs 2, a 2-word instruction 3
+    m1 = machine("    cpse r0, r1\n    nop\n    break\n")
+    m1.run()
+    m2 = machine(
+        "    cpse r0, r1\n    jmp far\n    break\nfar:\n    break\n")
+    m2.run()
+    assert m1.core.cycles == 2 + 1
+    assert m2.core.cycles == 3 + 1
+
+
+# ---------------------------------------------------------------------
+# error paths
+# ---------------------------------------------------------------------
+def test_bad_opcode():
+    m = Machine(assemble("    nop\n"))
+    m.memory.write_flash_word(1, 0xFFFF)
+    with pytest.raises(BadOpcode):
+        m.run(max_cycles=10)
+
+
+def test_cycle_limit():
+    m = machine("loop:\n    rjmp loop\n")
+    with pytest.raises(CycleLimitExceeded):
+        m.run(max_cycles=100)
+
+
+def test_reset_restores_state():
+    m = machine("    ldi r16, 1\n    push r16\n    break\n")
+    m.run()
+    m.reset()
+    assert m.core.pc == 0
+    assert not m.core.halted
+    assert m.memory.sp == m.geometry.ramend
+    assert m.memory.sreg == 0
+
+
+def test_decode_cache_invalidation():
+    m = machine("    nop\n    break\n")
+    m.run()
+    # rewrite the nop into ldi r16, 7 and rerun
+    m.memory.write_flash_word(0, 0xE007 | 0x0000)
+    m.core.invalidate_decode_cache()
+    m.reset()
+    m.run()
+    assert m.core.reg(16) == 7

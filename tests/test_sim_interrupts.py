@@ -1,0 +1,159 @@
+"""Interrupt controller: vectoring, priorities, reti, and the
+protection interaction (handlers run in the trusted domain)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.isa.registers import SREG_BITS
+from repro.sim import InterruptController, Machine
+from repro.umpu import HarborLayout, UmpuMachine
+
+#: vectors at word 0 (stride 2): vector n jumps to its handler
+PROGRAM = """
+    jmp main                ; vector 0 doubles as reset (jmp = 2 words)
+    jmp handler1            ; vector 1 at word 2
+    jmp handler2            ; vector 2 at word 4
+
+main:
+    sei
+spin:
+    inc r20
+    cpi r20, 50
+    brne spin
+    break
+
+handler1:
+    inc r16
+    reti
+
+handler2:
+    inc r17
+    reti
+"""
+
+
+def machine_with_irq():
+    m = Machine(assemble(PROGRAM, "irq"))
+    InterruptController(m.core, nvectors=8, vector_stride_words=2)
+    return m
+
+
+def test_interrupt_taken_and_returns():
+    m = machine_with_irq()
+    m.core.pc = m.program.symbol("main") // 2
+    m.core.step()  # sei
+    m.core.interrupts.raise_irq(1)
+    m.core.run(max_cycles=1000)
+    assert m.core.reg(16) == 1      # handler ran
+    assert m.core.reg(20) == 50     # main loop completed
+    assert m.core.interrupts.taken == 1
+    assert m.memory.sp == m.geometry.ramend  # balanced
+
+
+def test_interrupt_needs_global_flag():
+    m = machine_with_irq()
+    m.core.interrupts.raise_irq(1)
+    # run only the pre-sei part: no interrupt before I is set
+    m.core.pc = m.program.symbol("main") // 2
+    # I is clear: poll does nothing
+    assert m.core.interrupts.poll() == 0
+    m.core.step()  # sei
+    assert m.core.interrupts.poll() > 0
+
+
+def test_priority_lowest_line_first():
+    m = machine_with_irq()
+    m.core.pc = m.program.symbol("main") // 2
+    m.core.step()  # sei
+    m.core.interrupts.raise_irq(2)
+    m.core.interrupts.raise_irq(1)
+    m.core.step()  # takes line 1 first
+    m.core.run(max_cycles=1000)
+    assert m.core.reg(16) == 1 and m.core.reg(17) == 1
+    assert m.core.interrupts.taken == 2
+
+
+def test_i_flag_cleared_in_handler_restored_by_reti():
+    m = machine_with_irq()
+    m.core.pc = m.program.symbol("main") // 2
+    m.core.step()  # sei
+    m.core.interrupts.raise_irq(1)
+    m.core.step()  # irq taken + jmp in vector executes
+    assert m.core.flag(SREG_BITS.I) == 0
+    m.core.run(max_cycles=1000)
+    assert m.core.flag(SREG_BITS.I) == 1
+
+
+def test_irq_response_cycles():
+    m = machine_with_irq()
+    m.core.pc = m.program.symbol("main") // 2
+    m.core.step()
+    m.core.interrupts.raise_irq(1)
+    cycles = m.core.step()  # irq (4) + vector jmp (3)
+    assert cycles == 4 + 3
+
+
+def test_bad_line_rejected():
+    m = machine_with_irq()
+    with pytest.raises(ValueError):
+        m.core.interrupts.raise_irq(99)
+
+
+# ---------------------------------------------------------------------
+# protection interaction
+# ---------------------------------------------------------------------
+UMPU_PROGRAM = """
+    jmp 0x0400              ; vector 0 unused (reset)
+    jmp handler             ; vector 1 at word 2: kernel handler
+
+handler:
+    ldi r26, 0x00
+    ldi r27, 0x01
+    ldi r16, 0xAB
+    st X, r16               ; store into TRUSTED memory
+    reti
+
+.org 0x2000
+module_loop:                ; untrusted module code
+    sei
+    inc r20
+    cpi r20, 10
+    brne module_loop
+    ret
+"""
+
+
+def test_interrupt_handler_runs_trusted_under_umpu():
+    layout = HarborLayout()
+    m = UmpuMachine(assemble(UMPU_PROGRAM, "umpu_irq"), layout=layout)
+    InterruptController(m.core, nvectors=8, vector_stride_words=2)
+    m.tracker.register_code_region(0, 0x2000, 0x2100)
+    m.enter_domain(0)
+    m.core.interrupts.raise_irq(1)
+    m.call("module_loop", max_cycles=10000)
+    # the handler's store to trusted memory (0x0100) succeeded even
+    # though domain 0 was interrupted: the tracker swapped to trusted
+    assert m.memory.read_data(0x0100) == 0xAB
+    # and the module's domain was restored by reti
+    assert m.regs.cur_domain == 0 or m.regs.cur_domain == TRUSTED_DOMAIN
+    assert m.core.interrupts.taken == 1
+    assert m.core.reg(20) == 10
+
+
+def test_interrupt_domain_restored_exactly():
+    layout = HarborLayout()
+    m = UmpuMachine(assemble(UMPU_PROGRAM, "umpu_irq2"), layout=layout)
+    InterruptController(m.core, nvectors=8, vector_stride_words=2)
+    m.tracker.register_code_region(0, 0x2000, 0x2100)
+    m.enter_domain(0)
+    m.core.pc = 0x2000 // 2
+    m.core.step()   # sei
+    m.core.interrupts.raise_irq(1)
+    m.core.step()   # irq entry + vector jmp
+    assert m.regs.cur_domain == TRUSTED_DOMAIN
+    # run the handler through its reti
+    for _ in range(6):
+        m.core.step()
+    assert m.regs.cur_domain == 0   # back in the module's domain
+    assert m.regs.safe_stack_ptr == layout.safe_stack_base  # balanced

@@ -1,0 +1,282 @@
+"""Data transfer: loads/stores (all addressing modes), stack, I/O, lpm."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import InvalidAccess, Machine, Memory
+
+
+def machine(src):
+    return Machine(assemble(src + "\n    break\n"))
+
+
+# ---------------------------------------------------------------------
+# direct and indirect loads/stores
+# ---------------------------------------------------------------------
+def test_lds_sts():
+    m = machine("""
+        ldi r16, 0x5A
+        sts 0x0123, r16
+        lds r17, 0x0123
+    """)
+    m.run()
+    assert m.memory.read_data(0x0123) == 0x5A
+    assert m.core.reg(17) == 0x5A
+
+
+def test_st_ld_x_modes():
+    m = machine("""
+        ldi r26, 0x00
+        ldi r27, 0x02       ; X = 0x0200
+        ldi r16, 1
+        ldi r17, 2
+        st X+, r16          ; [0x200] = 1, X = 0x201
+        st X, r17           ; [0x201] = 2
+        ld r18, -X          ; X = 0x200, r18 = 1
+        ld r19, X+          ; r19 = 1, X = 0x201
+        ld r20, X           ; r20 = 2
+    """)
+    m.run()
+    assert m.memory.read_data(0x200) == 1
+    assert m.memory.read_data(0x201) == 2
+    assert m.core.reg(18) == 1
+    assert m.core.reg(19) == 1
+    assert m.core.reg(20) == 2
+    assert m.core.reg_pair(26) == 0x0201
+
+
+def test_st_pre_decrement():
+    m = machine("""
+        ldi r26, 0x02
+        ldi r27, 0x02       ; X = 0x0202
+        ldi r16, 0xAB
+        st -X, r16          ; [0x201] = 0xAB
+    """)
+    m.run()
+    assert m.memory.read_data(0x201) == 0xAB
+    assert m.core.reg_pair(26) == 0x0201
+
+
+def test_std_ldd_displacement():
+    m = machine("""
+        ldi r28, 0x00
+        ldi r29, 0x03       ; Y = 0x0300
+        ldi r16, 0x42
+        std Y+5, r16
+        ldd r17, Y+5
+        ldi r30, 0x10
+        ldi r31, 0x03       ; Z = 0x0310
+        std Z+63, r16
+        ldd r18, Z+63
+    """)
+    m.run()
+    assert m.memory.read_data(0x305) == 0x42
+    assert m.core.reg(17) == 0x42
+    assert m.memory.read_data(0x310 + 63) == 0x42
+    assert m.core.reg(18) == 0x42
+    # displacement does not move the pointer
+    assert m.core.reg_pair(28) == 0x0300
+    assert m.core.reg_pair(30) == 0x0310
+
+
+def test_ld_st_through_y_z_post_inc():
+    m = machine("""
+        ldi r28, 0x00
+        ldi r29, 0x04
+        ldi r16, 7
+        st Y+, r16
+        st Y+, r16
+        ldi r30, 0x00
+        ldi r31, 0x04
+        ld r17, Z+
+        ld r18, Z+
+    """)
+    m.run()
+    assert m.core.reg(17) == 7 and m.core.reg(18) == 7
+    assert m.core.reg_pair(28) == 0x0402
+    assert m.core.reg_pair(30) == 0x0402
+
+
+# ---------------------------------------------------------------------
+# registers are memory-mapped at 0x00..0x1F
+# ---------------------------------------------------------------------
+def test_registers_visible_in_data_space():
+    m = machine("""
+        ldi r16, 0x77
+        lds r17, 16         ; read r16 through the data space
+    """)
+    m.run()
+    assert m.core.reg(17) == 0x77
+
+
+# ---------------------------------------------------------------------
+# stack
+# ---------------------------------------------------------------------
+def test_push_pop():
+    m = machine("""
+        ldi r16, 0x11
+        ldi r17, 0x22
+        push r16
+        push r17
+        pop r18
+        pop r19
+    """)
+    m.run()
+    assert m.core.reg(18) == 0x22
+    assert m.core.reg(19) == 0x11
+    assert m.memory.sp == m.geometry.ramend
+
+
+def test_push_decrements_sp():
+    m = machine("    push r0\n")
+    sp0 = m.memory.sp
+    m.run()
+    assert m.memory.sp == sp0 - 1
+    assert m.memory.read_data(sp0) == 0
+
+
+# ---------------------------------------------------------------------
+# I/O
+# ---------------------------------------------------------------------
+def test_in_out_roundtrip():
+    m = machine("""
+        ldi r16, 0xA5
+        out 0x15, r16
+        in r17, 0x15
+    """)
+    m.run()
+    assert m.core.reg(17) == 0xA5
+    assert m.memory.read_data(0x15 + 0x20) == 0xA5
+
+
+def test_out_spl_changes_sp():
+    m = machine("""
+        ldi r16, 0x34
+        out SPL, r16
+        ldi r16, 0x02
+        out SPH, r16
+    """)
+    m.run()
+    assert m.memory.sp == 0x0234
+
+
+def test_sbi_cbi():
+    m = machine("""
+        sbi 0x10, 3
+        sbi 0x10, 0
+        cbi 0x10, 3
+    """)
+    m.run()
+    assert m.memory.read_data(0x10 + 0x20) == 0b0000_0001
+
+
+def test_io_device_hook():
+    class Dev:
+        def __init__(self):
+            self.written = None
+
+        def io_read(self, addr):
+            return 0x99
+
+        def io_write(self, addr, value):
+            self.written = value
+
+    m = machine("""
+        in r16, 0x08
+        ldi r17, 0x42
+        out 0x08, r17
+    """)
+    dev = Dev()
+    m.memory.io_devices[0x08 + 0x20] = dev
+    m.run()
+    assert m.core.reg(16) == 0x99
+    assert dev.written == 0x42
+
+
+# ---------------------------------------------------------------------
+# program memory reads
+# ---------------------------------------------------------------------
+def test_lpm_variants():
+    m = machine("""
+        ldi r30, lo8(table)
+        ldi r31, hi8(table)
+        lpm r16, Z+
+        lpm r17, Z+
+        lpm                 ; r0 <- [Z]
+        rjmp done
+    table:
+    .db 0x0A, 0x0B, 0x0C, 0x0D
+    done:
+    """)
+    m.run()
+    assert m.core.reg(16) == 0x0A
+    assert m.core.reg(17) == 0x0B
+    assert m.core.reg(0) == 0x0C
+
+
+# ---------------------------------------------------------------------
+# raw memory model
+# ---------------------------------------------------------------------
+def test_memory_word_helpers():
+    mem = Memory()
+    mem.write_word_data(0x100, 0xBEEF)
+    assert mem.read_data(0x100) == 0xEF
+    assert mem.read_data(0x101) == 0xBE
+    assert mem.read_word_data(0x100) == 0xBEEF
+
+
+def test_memory_bounds():
+    mem = Memory()
+    with pytest.raises(InvalidAccess):
+        mem.read_data(0x1000)
+    with pytest.raises(InvalidAccess):
+        mem.write_data(-1, 0)
+    with pytest.raises(InvalidAccess):
+        mem.read_flash_word(1 << 20)
+
+
+def test_flash_byte_access():
+    mem = Memory()
+    mem.write_flash_word(0x10, 0xBEEF)
+    assert mem.read_flash_byte(0x20) == 0xEF   # low byte at even address
+    assert mem.read_flash_byte(0x21) == 0xBE
+
+
+def test_fill_data():
+    mem = Memory()
+    mem.fill_data(0x200, b"\x01\x02\x03")
+    assert mem.read_data(0x202) == 3
+
+
+def test_elpm_reads_upper_flash_bank():
+    """ELPM with RAMPZ=1 reads beyond the 64 KiB lpm window (the
+    ATmega103's 128 KiB flash needs it)."""
+    m = machine("""
+        ldi r16, 1
+        out 0x3B, r16       ; RAMPZ = 1
+        ldi r30, 0x10
+        ldi r31, 0x00       ; Z = 0x0010 -> flash byte 0x10010
+        elpm r20, Z+
+        elpm r21, Z
+        elpm                ; r0 <- [RAMPZ:Z]
+    """)
+    m.memory.write_flash_word(0x10010 >> 1, 0xBBAA)
+    m.run()
+    assert m.core.reg(20) == 0xAA
+    assert m.core.reg(21) == 0xBB
+    assert m.core.reg(0) == 0xBB
+
+
+def test_elpm_post_increment_carries_into_rampz():
+    m = machine("""
+        ldi r30, 0xFF
+        ldi r31, 0xFF       ; Z = 0xFFFF, RAMPZ = 0
+        elpm r20, Z+        ; reads 0x0FFFF, Z wraps, RAMPZ -> 1
+        elpm r21, Z         ; reads 0x10000
+    """)
+    m.memory.write_flash_word(0xFFFE >> 1, 0x11 << 8)   # byte 0xFFFF
+    m.memory.write_flash_word(0x10000 >> 1, 0x22)        # byte 0x10000
+    m.run()
+    assert m.core.reg(20) == 0x11
+    assert m.core.reg(21) == 0x22
+    assert m.memory.read_data(0x3B + 0x20) == 1

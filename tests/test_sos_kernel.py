@@ -1,0 +1,252 @@
+"""SOS kernel substrate: modules, messaging, linking, fault containment."""
+
+import pytest
+
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import MemMapFault
+from repro.sos import (
+    CrossDomainLinker,
+    Message,
+    MessageQueue,
+    MSG_TIMER_TIMEOUT,
+    SOS_ERROR,
+    SosKernel,
+    SosModule,
+)
+from repro.core.control_flow import JumpTable
+from repro.isa.encoding import decode_words
+
+
+# ---------------------------------------------------------------------
+# message queue
+# ---------------------------------------------------------------------
+def test_queue_fifo():
+    q = MessageQueue()
+    m1 = Message("a", "b", 1)
+    m2 = Message("a", "b", 2)
+    q.post(m1)
+    q.post(m2)
+    assert q.take() is m1
+    assert q.take() is m2
+    assert q.take() is None
+    assert q.posted == 2 and q.delivered == 2
+
+
+def test_queue_capacity_drops():
+    q = MessageQueue(capacity=2)
+    assert q.post(Message("a", "b", 1))
+    assert q.post(Message("a", "b", 1))
+    assert not q.post(Message("a", "b", 1))
+    assert q.dropped == 1
+
+
+def test_queue_pending_for():
+    q = MessageQueue()
+    q.post(Message("a", "x", 1))
+    q.post(Message("a", "y", 1))
+    q.post(Message("a", "x", 1))
+    assert q.pending_for("x") == 2
+
+
+# ---------------------------------------------------------------------
+# modules and domains
+# ---------------------------------------------------------------------
+class Counter(SosModule):
+    name = "counter"
+
+    def __init__(self):
+        self.buf = None
+        self.count = 0
+
+    def init(self, ctx):
+        self.buf = ctx.malloc(8)
+        ctx.register_function("get_count", lambda c, *a: self.count)
+
+    def handle_message(self, ctx, msg):
+        self.count += 1
+        ctx.store(self.buf, self.count)
+
+
+def test_load_module_assigns_domain_and_inits():
+    k = SosKernel()
+    rec = k.load_module(Counter())
+    assert rec.domain.did == 0
+    assert rec.module.buf is not None
+    assert k.harbor.memmap.owner_of(rec.module.buf) == 0
+
+
+def test_message_dispatch():
+    k = SosKernel()
+    k.load_module(Counter())
+    k.post(Message("kernel", "counter", MSG_TIMER_TIMEOUT))
+    k.post(Message("kernel", "counter", MSG_TIMER_TIMEOUT))
+    assert k.run() == 2
+    mod = k.modules["counter"].module
+    assert mod.count == 2
+    assert k.harbor.load(mod.buf) == 2
+
+
+def test_message_to_unknown_module_dropped():
+    k = SosKernel()
+    k.post(Message("kernel", "ghost", MSG_TIMER_TIMEOUT))
+    assert k.run() == 1  # consumed, no crash
+
+
+def test_cross_domain_invoke():
+    k = SosKernel()
+    k.load_module(Counter())
+    k.post_timer("counter")
+    k.run()
+    assert k.cross_domain_invoke("x", "counter", "get_count") == 1
+
+
+def test_cross_domain_invoke_missing_provider():
+    k = SosKernel()
+    assert k.cross_domain_invoke("x", "ghost", "fn") is SOS_ERROR
+
+
+def test_unload_reclaims_memory_and_functions():
+    k = SosKernel()
+    rec = k.load_module(Counter())
+    buf = rec.module.buf
+    k.unload_module("counter")
+    assert k.harbor.memmap.owner_of(buf) == TRUSTED_DOMAIN
+    assert not k.is_exported("counter", "get_count")
+    assert rec.domain.did not in k.harbor.domains
+    # the domain id is reusable
+    rec2 = k.load_module(Counter())
+    assert rec2.domain.did == 0
+
+
+class WildWriter(SosModule):
+    name = "wild"
+
+    def handle_message(self, ctx, msg):
+        ctx.store(msg.data["target"], 0x66)
+
+
+def test_fault_containment():
+    k = SosKernel(protected=True)
+    k.load_module(WildWriter())
+    victim = k.harbor.malloc(8, k.harbor.domains.trusted)
+    k.post(Message("kernel", "wild", MSG_TIMER_TIMEOUT,
+                   data={"target": victim}))
+    k.run()
+    assert len(k.fault_log) == 1
+    assert isinstance(k.fault_log[0].fault, MemMapFault)
+    assert k.modules["wild"].state == "crashed"
+    assert k.harbor.load(victim) == 0
+    # crashed modules receive no further messages
+    k.post(Message("kernel", "wild", MSG_TIMER_TIMEOUT,
+                   data={"target": victim}))
+    k.run()
+    assert len(k.fault_log) == 1
+
+
+def test_restart_crashed_module():
+    k = SosKernel(protected=True, restart_crashed=True)
+    k.load_module(WildWriter())
+    victim = k.harbor.malloc(8, k.harbor.domains.trusted)
+    k.post(Message("kernel", "wild", MSG_TIMER_TIMEOUT,
+                   data={"target": victim}))
+    k.run()
+    assert len(k.fault_log) == 1
+    assert k.modules["wild"].state == "loaded"   # fresh instance
+
+
+def test_unprotected_kernel_lets_corruption_through():
+    k = SosKernel(protected=False)
+    k.load_module(WildWriter())
+    victim = k.harbor.malloc(8, k.harbor.domains.trusted)
+    k.post(Message("kernel", "wild", MSG_TIMER_TIMEOUT,
+                   data={"target": victim}))
+    k.run()
+    assert not k.fault_log
+    assert k.harbor.load(victim) == 0x66  # silent corruption
+
+
+class Producer(SosModule):
+    name = "producer"
+
+    def handle_message(self, ctx, msg):
+        buf = ctx.malloc(16)
+        ctx.store(buf, 0x42)
+        ctx.post("consumer", MSG_TIMER_TIMEOUT, payload=buf, length=16)
+
+
+class Consumer(SosModule):
+    name = "consumer"
+
+    def __init__(self):
+        self.got = None
+
+    def handle_message(self, ctx, msg):
+        # the payload now belongs to us: we may write it
+        ctx.store(msg.payload + 1, 0x43)
+        self.got = msg.payload
+
+
+def test_payload_ownership_moves_with_message():
+    k = SosKernel()
+    k.load_module(Producer())
+    consumer = Consumer()
+    k.load_module(consumer)
+    k.post_timer("producer")
+    k.run()
+    assert consumer.got is not None
+    assert k.harbor.memmap.owner_of(consumer.got) == \
+        k.modules["consumer"].domain.did
+    assert k.harbor.load(consumer.got + 1) == 0x43
+
+
+def test_sensor_series():
+    k = SosKernel()
+    k.set_sensor_series([5, 6])
+    assert k.sensor_read() == 5
+    assert k.sensor_read() == 6
+    assert k.sensor_read() == (6 + 17) & 0xFF  # deterministic fallback
+
+
+def test_duplicate_load_rejected():
+    k = SosKernel()
+    k.load_module(Counter())
+    with pytest.raises(ValueError):
+        k.load_module(Counter())
+
+
+# ---------------------------------------------------------------------
+# cross-domain linker
+# ---------------------------------------------------------------------
+def test_linker_emits_jmp_entries():
+    jt = JumpTable(base=0x1000, ndomains=2)
+    linker = CrossDomainLinker(jt, exception_target=0x0040)
+    entry = linker.export(0, "fn", 0x3000)
+    assert entry == 0x1000
+    words = {}
+    linker.emit(lambda a, v: words.__setitem__(a, v))
+    instr = decode_words(words[0x800], words[0x801])
+    assert instr.key == "jmp"
+    assert instr.operands[0] * 2 == 0x3000
+    # an empty slot jumps to the exception routine
+    instr = decode_words(words[0x802], words[0x803])
+    assert instr.operands[0] * 2 == 0x0040
+
+
+def test_linker_indices_and_lookup():
+    jt = JumpTable(base=0x1000, ndomains=4)
+    linker = CrossDomainLinker(jt)
+    e0 = linker.export(1, "a", 0x3000)
+    e1 = linker.export(1, "b", 0x3010)
+    assert e1 == e0 + 4
+    assert linker.entry_for(1, "b") == e1
+    assert linker.subscriptions(1) == {"a": e0, "b": e1}
+
+
+def test_linker_explicit_index_and_overflow():
+    jt = JumpTable(base=0x1000, ndomains=1, entries_per_domain=2)
+    linker = CrossDomainLinker(jt)
+    linker.export(0, "x", 0x3000, index=1)
+    with pytest.raises(ValueError):
+        linker.export(0, "y", 0x3000, index=2)
+    with pytest.raises(ValueError):
+        linker.export(0, "z", 0x3000)  # auto index = max+1 = 2: full

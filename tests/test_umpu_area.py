@@ -1,0 +1,90 @@
+"""Gate-count area model (paper Table 6) — model sanity and shape."""
+
+from repro.umpu.area import (
+    PAPER_TABLE6,
+    baseline_core_area,
+    core_growth,
+    domain_tracker_area,
+    fetch_decoder_area,
+    fixed_config_savings,
+    gate_count_table,
+    glue_area,
+    mmc_area,
+    safe_stack_area,
+)
+
+
+def test_rows_match_paper_components():
+    rows = gate_count_table()
+    assert [r.component for r in rows] == list(PAPER_TABLE6)
+
+
+def test_calibration_within_tolerance():
+    """Every modelled number lands within 2% of the paper's (the model
+    is calibrated against these, so this pins the calibration)."""
+    for row in gate_count_table():
+        paper_ext, paper_orig = PAPER_TABLE6[row.component]
+        assert abs(row.extended - paper_ext) / paper_ext < 0.02, \
+            row.component
+        if paper_orig is not None:
+            assert abs(row.original - paper_orig) / paper_orig < 0.02, \
+                row.component
+
+
+def test_unit_ordering():
+    """MMC > Safe Stack > Domain Tracker (the paper's ordering)."""
+    mmc = mmc_area().equiv_gates
+    ss = safe_stack_area().equiv_gates
+    dt = domain_tracker_area().equiv_gates
+    assert mmc > ss > dt
+
+
+def test_core_growth_matches_paper_table():
+    growth = core_growth()
+    paper = (22498 - 16419) / 16419
+    assert abs(growth - paper) < 0.02
+
+
+def test_fetch_decoder_extension_small():
+    base = fetch_decoder_area(False).equiv_gates
+    ext = fetch_decoder_area(True).equiv_gates
+    assert 0 < ext - base < 200
+
+
+def test_barrel_shifter_dominates_mmc():
+    """'Most of the additions ... are in the memory map decoder that
+    maintains a barrel shifter'."""
+    parts = dict(mmc_area().parts)
+    shifter = sum(g for d, g in parts.items() if "barrel" in d)
+    others = [g for d, g in parts.items() if "barrel" not in d]
+    assert shifter > max(others)
+
+
+def test_fixed_config_ablation():
+    """Synthesizing for a fixed block size/domain count drops the barrel
+    shifters — the paper's suggested optimization must save gates."""
+    savings = fixed_config_savings()
+    assert savings > 0
+    assert mmc_area(configurable=False).equiv_gates \
+        == mmc_area(True).equiv_gates - savings
+    # the saving is a meaningful fraction of the MMC
+    assert savings / mmc_area(True).equiv_gates > 0.2
+
+
+def test_extended_core_is_sum_of_parts():
+    rows = {r.component: r for r in gate_count_table()}
+    total = (rows["AVR Core"].original
+             + rows["MMC"].extended
+             + rows["Safe Stack"].extended
+             + rows["Domain Tracker"].extended
+             + glue_area().equiv_gates
+             + (rows["Fetch Decoder"].extended
+                - rows["Fetch Decoder"].original))
+    assert rows["AVR Core"].extended == total
+
+
+def test_structure_report_readable():
+    report = mmc_area().report()
+    assert "MMC" in report
+    assert "barrel shifter" in report
+    assert baseline_core_area().raw_gates > 0
