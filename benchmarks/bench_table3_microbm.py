@@ -9,6 +9,7 @@ side by side.  Run ``python benchmarks/bench_table3_microbm.py`` or
 
 from repro.analysis.microbench import (
     PAPER_TABLE3,
+    attribution_breakdown,
     measure_sfi,
     measure_table3,
     measure_umpu,
@@ -33,6 +34,17 @@ def build_table():
              "routine itself) + {} cycles call/marshal dispatch; see "
              "EXPERIMENTS.md".format(body, dispatch))
     return measured, table
+
+
+def build_attribution():
+    """Optional per-domain cycle breakdown of the Table-3 workload
+    (``run_all.py --attribution``): where the measured cycles actually
+    went, per protection domain and category."""
+    from repro.trace import flat_report
+    _machine, profiler, sink = attribution_breakdown()
+    return profiler, flat_report(
+        profiler, sink,
+        title="Table 3 workload -- per-domain cycle attribution")
 
 
 def test_table3_microbenchmarks(benchmark, show):

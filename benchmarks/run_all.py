@@ -2,9 +2,15 @@
 """Regenerate every table and figure of the paper's evaluation in one
 run (the script form of the bench suite).
 
-Run:  python benchmarks/run_all.py
+Run:  python benchmarks/run_all.py [--attribution]
+
+``--attribution`` additionally prints, for every benchmark that
+supports it (``build_attribution`` hook), the per-domain cycle
+attribution of its workload — the observability layer's view of where
+the measured cycles went (see docs/observability.md).
 """
 
+import argparse
 import importlib
 import os
 import sys
@@ -31,7 +37,12 @@ MODULES = [
 ]
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--attribution", action="store_true",
+                        help="also dump each benchmark's per-domain "
+                             "cycle attribution where supported")
+    args = parser.parse_args(argv)
     for name, label in MODULES:
         module = importlib.import_module(name)
         print()
@@ -51,6 +62,9 @@ def main():
         if hasattr(module, "build_structure_report"):
             print()
             print(module.build_structure_report())
+        if args.attribution and hasattr(module, "build_attribution"):
+            print()
+            print(module.build_attribution()[1])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,33 @@
+; A small workload for the observability CLI:
+;
+;   python -m repro.cli profile examples/profile_demo.s --entry main --umpu
+;   python -m repro.cli trace   examples/profile_demo.s --entry main --umpu -o trace.json
+;
+; Nested calls exercise the safe-stack unit's return-address
+; redirection, the fill loop produces a steady stream of bus stores,
+; and the retire/control-transfer events make a readable Chrome trace.
+; See docs/observability.md.
+
+main:
+    ldi r24, 8
+outer:
+    call work
+    dec r24
+    brne outer
+    ret
+
+work:
+    ldi r26, 0x00
+    ldi r27, 0x03           ; X = 0x0300 (inside the protected region)
+    ldi r18, 16
+    ldi r19, 0xA5
+fill:
+    st X+, r19
+    dec r18
+    brne fill
+    call leaf
+    ret
+
+leaf:
+    nop
+    ret

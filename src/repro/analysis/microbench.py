@@ -260,6 +260,31 @@ def measure_table3():
     return {name: (umpu[name], sfi[name]) for name in PAPER_TABLE3}
 
 
+def attribution_breakdown(iterations=16):
+    """Run the Table-3 UMPU workload with the observability layer on.
+
+    Drives checked stores (domain 0) and cross-domain call/ret pairs
+    (trusted -> domain 1) *iterations* times with a
+    :class:`repro.trace.DomainProfiler` and :class:`repro.trace.
+    TraceSink` attached, asserts the attribution balances against the
+    core's cycle counter, and returns ``(machine, profiler, sink)``.
+    Used by ``benchmarks/run_all.py --attribution`` and the
+    observability docs/tests.
+    """
+    from repro.trace import install_profiler, install_tracing
+
+    machine, _probe, _jt = build_umpu_bench()
+    sink = install_tracing(machine)
+    profiler = install_profiler(machine)
+    for _ in range(iterations):
+        machine.enter_domain(0)
+        machine.call("store_fn")
+        machine.enter_trusted()
+        machine.call("xcall_fn")
+    profiler.assert_balanced(machine.core)
+    return machine, profiler, sink
+
+
 # =====================================================================
 # Table 4: the dynamic-memory library
 # =====================================================================

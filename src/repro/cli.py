@@ -11,6 +11,11 @@ Installed as console scripts (see ``pyproject.toml``):
   report accept/reject.
 * ``harbor-run SOURCE --entry LABEL`` — execute a program on the
   simulator (plain, or with UMPU protection via ``--umpu``).
+* ``harbor-trace SOURCE -o OUT.json`` — execute with the structured
+  trace attached and export a Chrome ``about://tracing`` JSON.
+* ``harbor-profile SOURCE`` — execute with the per-domain cycle
+  profiler attached and print the attribution breakdown (optionally
+  also exporting the Chrome trace); see ``docs/observability.md``.
 
 The image format is deliberately trivial: one ``ADDR: WORD`` hex pair
 per line (word addresses), so images are diffable and editable.
@@ -167,9 +172,7 @@ def cmd_verify(argv=None):
     return 0
 
 
-def cmd_run(argv=None):
-    parser = argparse.ArgumentParser(
-        prog="harbor-run", description="run a program on the simulator")
+def _add_run_arguments(parser):
     parser.add_argument("source")
     parser.add_argument("--entry", default=None,
                         help="label to call (default: run from reset)")
@@ -178,9 +181,9 @@ def cmd_run(argv=None):
     parser.add_argument("--domain", type=int, default=None,
                         help="run as this protection domain (with --umpu)")
     parser.add_argument("--max-cycles", type=int, default=1_000_000)
-    parser.add_argument("--dump", action="append", default=[],
-                        help="ADDR[:LEN] memory ranges to print after")
-    args = parser.parse_args(argv)
+
+
+def _build_machine(args):
     program = _assemble_arg(args.source)
     if args.umpu:
         machine = UmpuMachine(program, layout=HarborLayout())
@@ -188,6 +191,29 @@ def cmd_run(argv=None):
             machine.enter_domain(args.domain)
     else:
         machine = Machine(program)
+    return machine
+
+
+def _execute(machine, args):
+    """Run per the shared run arguments; returns (cycles, fault)."""
+    try:
+        if args.entry:
+            cycles = machine.call(args.entry, max_cycles=args.max_cycles)
+        else:
+            cycles = machine.run(max_cycles=args.max_cycles)
+    except ProtectionFault as exc:
+        return machine.core.cycles, exc
+    return cycles, None
+
+
+def cmd_run(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-run", description="run a program on the simulator")
+    _add_run_arguments(parser)
+    parser.add_argument("--dump", action="append", default=[],
+                        help="ADDR[:LEN] memory ranges to print after")
+    args = parser.parse_args(argv)
+    machine = _build_machine(args)
     try:
         if args.entry:
             cycles = machine.call(args.entry, max_cycles=args.max_cycles)
@@ -208,15 +234,85 @@ def cmd_run(argv=None):
     return 0
 
 
+# ---------------------------------------------------------------------
+def cmd_trace(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-trace",
+        description="run a program with the structured trace attached "
+                    "and export Chrome trace_event JSON "
+                    "(load in about://tracing or ui.perfetto.dev)")
+    _add_run_arguments(parser)
+    parser.add_argument("-o", "--output", default="trace.json",
+                        help="Chrome trace output path (default: "
+                             "trace.json)")
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="trace ring-buffer capacity (events)")
+    parser.add_argument("--text", action="store_true",
+                        help="also dump the raw events as text")
+    args = parser.parse_args(argv)
+    from repro.trace import write_chrome_trace
+    machine = _build_machine(args)
+    sink = machine.attach_trace(capacity=args.capacity)
+    cycles, fault = _execute(machine, args)
+    write_chrome_trace(args.output, sink)
+    if args.text:
+        for event in sink:
+            print("{:>8}  {:<20} pc={} domain={} {}".format(
+                event.cycle, event.kind.value,
+                "-" if event.pc is None else "0x{:04x}".format(event.pc),
+                "-" if event.domain is None else event.domain,
+                event.data))
+    print("; {} cycles, {} events ({} dropped) -> {}".format(
+        cycles, sink.emitted, sink.dropped, args.output),
+        file=sys.stderr)
+    if fault is not None:
+        print("protection fault: {}".format(fault), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_profile(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-profile",
+        description="run a program with the per-domain cycle profiler "
+                    "and print the attribution breakdown")
+    _add_run_arguments(parser)
+    parser.add_argument("--chrome", default=None, metavar="OUT.json",
+                        help="also export the Chrome trace here")
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="trace ring-buffer capacity (events)")
+    args = parser.parse_args(argv)
+    from repro.trace import flat_report, write_chrome_trace
+    machine = _build_machine(args)
+    sink = machine.attach_trace(capacity=args.capacity)
+    profiler = machine.attach_profiler()
+    cycles, fault = _execute(machine, args)
+    print(flat_report(profiler, sink,
+                      title="Cycle attribution: {}".format(args.source)))
+    if fault is None:
+        profiler.assert_balanced(machine.core)
+        print("; attribution balanced: {} cycles == core.cycles delta"
+              .format(profiler.total()), file=sys.stderr)
+    if args.chrome:
+        write_chrome_trace(args.chrome, sink)
+        print("; chrome trace -> {}".format(args.chrome),
+              file=sys.stderr)
+    if fault is not None:
+        print("protection fault: {}".format(fault), file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None):
     """Multiplexer: ``python -m repro.cli <tool> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     tools = {"asm": cmd_asm, "disasm": cmd_disasm,
              "rewrite": cmd_rewrite, "verify": cmd_verify,
-             "run": cmd_run}
+             "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile}
     if not argv or argv[0] not in tools:
-        print("usage: python -m repro.cli {asm|disasm|rewrite|verify|run}"
-              " ...", file=sys.stderr)
+        print("usage: python -m repro.cli "
+              "{asm|disasm|rewrite|verify|run|trace|profile} ...",
+              file=sys.stderr)
         return 64
     return tools[argv[0]](argv[1:])
 

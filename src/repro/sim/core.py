@@ -13,10 +13,11 @@ are returned by the bus and added to the core's cycle counter, which is
 how the MMC's single-cycle store penalty is measured.
 """
 
-from repro.isa.encoding import DecodeError, decode_words
+from repro.isa.encoding import DecodeError, decode_words, is_32bit_opcode
 from repro.isa.registers import ATMEGA103, SREG_BITS, IoReg
 from repro.sim.errors import BadOpcode, CycleLimitExceeded
 from repro.sim.events import AccessKind
+from repro.trace.events import TraceEventKind
 
 _C = SREG_BITS.C
 _Z = SREG_BITS.Z
@@ -47,7 +48,18 @@ class AvrCore:
         self.interrupts = None
         #: peripherals ticked with elapsed cycles after every step
         self.devices = []
+        #: optional repro.trace.TraceSink; every emission site is
+        #: guarded so a detached core pays nothing
+        self.trace = None
+        #: optional repro.trace.DomainProfiler
+        self.profiler = None
+        #: callable returning the active protection domain (set by
+        #: UmpuMachine); None on cores without protection hardware
+        self.domain_provider = None
         bus.cycle_hook = lambda: self.cycles
+        # runtime flash writes invalidate the decoded instructions they
+        # overwrite, so no write path can execute stale decodes
+        memory.flash_listeners.append(self._on_flash_write)
 
     # --- register / flag helpers ------------------------------------------
     def reg(self, n):
@@ -113,10 +125,27 @@ class AvrCore:
         """Call after rewriting flash at runtime."""
         self._decode_cache.clear()
 
+    def _on_flash_write(self, word_addr):
+        """Memory notified us of a flash write: drop any decode that
+        covers the word (a 32-bit instruction starting one word earlier
+        spans it too)."""
+        cache = self._decode_cache
+        if cache:
+            cache.pop(word_addr, None)
+            cache.pop(word_addr - 1, None)
+
     def _instr_size_at(self, word_addr):
-        """Word size of the instruction at *word_addr* (for skips)."""
+        """Word size of the instruction at *word_addr* (for skips).
+
+        Consults the decode cache first — skips are hot in the Table-3
+        microbenchmarks and the skipped instruction has usually been
+        decoded already — and falls back to a raw opcode-width probe
+        (the skipped slot may hold data that never decodes).
+        """
+        cached = self._decode_cache.get(word_addr)
+        if cached is not None:
+            return cached.size_words
         w0 = self.memory.read_flash_word(word_addr)
-        from repro.isa.encoding import is_32bit_opcode
         return 2 if is_32bit_opcode(w0) else 1
 
     # --- stack helpers -------------------------------------------------------
@@ -156,8 +185,12 @@ class AvrCore:
         if self.halted:
             return 0
         before = self.cycles
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.begin_step(self)
         if self.interrupts is not None:
             self.cycles += self.interrupts.poll()
+        pc0 = self.pc
         instr = self._fetch()
         handler = getattr(self, "_exec_" + instr.key, None)
         if handler is None:
@@ -167,12 +200,31 @@ class AvrCore:
         extra = handler(instr) or 0
         self.cycles += instr.spec.cycles + extra
         consumed = self.cycles - before
+        if profiler is not None:
+            profiler.end_step(self, consumed)
+        if self.trace is not None:
+            self.trace.emit(self.cycles, TraceEventKind.INSTR_RETIRE,
+                            pc=pc0 * 2, domain=self._trace_domain(),
+                            key=instr.key, cycles=consumed)
         for device in self.devices:
             device.tick(consumed)
         return consumed
 
+    def _trace_domain(self):
+        """Current protection domain for trace events (None when no
+        provider knows about domains)."""
+        provider = self.domain_provider
+        return provider() if provider is not None else None
+
     def run(self, max_cycles=1_000_000, until_pc=None):
         """Run until halt, *until_pc* (word address) or the cycle budget.
+
+        The budget is checked *before* each step, so the run never
+        executes an instruction once ``max_cycles`` have been consumed;
+        reaching *until_pc* at exactly the budget therefore succeeds
+        deterministically, not by luck of the final step's cost.  The
+        raised :class:`CycleLimitExceeded` carries how far the last
+        executed step overshot the budget.
 
         Returns cycles consumed in this call.
         """
@@ -180,9 +232,11 @@ class AvrCore:
         while not self.halted:
             if until_pc is not None and self.pc == until_pc:
                 break
+            spent = self.cycles - start
+            if spent >= max_cycles:
+                raise CycleLimitExceeded(max_cycles,
+                                         overshoot=spent - max_cycles)
             self.step()
-            if self.cycles - start > max_cycles:
-                raise CycleLimitExceeded(max_cycles)
         return self.cycles - start
 
     # ==================== ALU: add/sub family ============================
@@ -411,6 +465,10 @@ class AvrCore:
             result = hook(self, "ijmp", target=target)
             if result:
                 extra += result
+        if self.trace is not None:
+            self.trace.emit(self.cycles, TraceEventKind.CONTROL_TRANSFER,
+                            pc=self.pc * 2, domain=self._trace_domain(),
+                            transfer="ijmp", target=target * 2)
         self.pc = target
         return extra
 
@@ -422,6 +480,11 @@ class AvrCore:
             if result:
                 extra += result
         extra += self.push_return_address(ret)
+        if self.trace is not None:
+            self.trace.emit(self.cycles, TraceEventKind.CONTROL_TRANSFER,
+                            pc=ret * 2, domain=self._trace_domain(),
+                            transfer="call", target=target_word * 2,
+                            ret=ret * 2)
         self.pc = target_word
         return extra
 
@@ -440,12 +503,19 @@ class AvrCore:
             result = hook(self, "ret", target=target)
             if result:
                 extra += result
+        if self.trace is not None:
+            self.trace.emit(self.cycles, TraceEventKind.CONTROL_TRANSFER,
+                            pc=self.pc * 2, domain=self._trace_domain(),
+                            transfer="ret", target=target * 2)
         self.pc = target
         return extra
 
     def _exec_reti(self, i):
         extra = self._exec_ret(i)
         self.set_flag(SREG_BITS.I, 1)
+        if self.trace is not None:
+            self.trace.emit(self.cycles, TraceEventKind.IRQ_EXIT,
+                            pc=self.pc * 2, domain=self._trace_domain())
         return extra
 
     def _branch(self, taken, offset):

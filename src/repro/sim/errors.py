@@ -23,11 +23,19 @@ class BadOpcode(SimError):
 
 
 class CycleLimitExceeded(SimError):
-    """The run exceeded its cycle budget (runaway program guard)."""
+    """The run exceeded its cycle budget (runaway program guard).
 
-    def __init__(self, limit):
+    ``overshoot`` is how many cycles past the budget the last executed
+    step landed (0 when the budget was exhausted exactly).
+    """
+
+    def __init__(self, limit, overshoot=0):
         self.limit = limit
-        super().__init__("exceeded cycle limit of {}".format(limit))
+        self.overshoot = overshoot
+        message = "exceeded cycle limit of {}".format(limit)
+        if overshoot:
+            message += " by {} cycle(s)".format(overshoot)
+        super().__init__(message)
 
 
 class InvalidAccess(SimError):

@@ -16,6 +16,10 @@ worse, a handler's stores would be checked against module ownership.
 """
 
 from repro.isa.registers import SREG_BITS
+from repro.trace.events import TraceEventKind
+
+#: AVR interrupt response time: four clock cycles minimum.
+IRQ_RESPONSE_CYCLES = 4
 
 
 class InterruptController:
@@ -27,12 +31,37 @@ class InterruptController:
         self.vector_stride_words = vector_stride_words
         self.pending = set()
         self.taken = 0
+        self.raised = 0
+        #: line -> raises swallowed because the line was already
+        #: pending (a set can't queue; real hardware's one-bit flag
+        #: behaves the same way, but here the loss is visible)
+        self.coalesced = {}
         core.interrupts = self
 
+    @property
+    def coalesced_total(self):
+        return sum(self.coalesced.values())
+
     def raise_irq(self, line):
-        """A peripheral asserts interrupt *line* (0 = highest prio)."""
+        """A peripheral asserts interrupt *line* (0 = highest prio).
+
+        A raise on an already-pending line is coalesced (the pending
+        flag is one bit); the loss is counted per line and surfaced as
+        an ``IRQ_COALESCED`` trace event so ``fired``/``taken``
+        divergence is attributable instead of silent.
+        """
         if not 0 <= line < self.nvectors:
             raise ValueError("no interrupt line {}".format(line))
+        self.raised += 1
+        if line in self.pending:
+            self.coalesced[line] = self.coalesced.get(line, 0) + 1
+            trace = self.core.trace
+            if trace is not None:
+                trace.emit(self.core.cycles, TraceEventKind.IRQ_COALESCED,
+                           pc=self.core.pc * 2,
+                           domain=self.core._trace_domain(), line=line,
+                           coalesced=self.coalesced[line])
+            return
         self.pending.add(line)
 
     def vector_word(self, line):
@@ -50,6 +79,14 @@ class InterruptController:
         line = min(self.pending)
         self.pending.discard(line)
         self.taken += 1
+        if core.trace is not None:
+            core.trace.emit(core.cycles, TraceEventKind.IRQ_ENTER,
+                            pc=core.pc * 2, domain=core._trace_domain(),
+                            line=line,
+                            target=self.vector_word(line) * 2)
+        if core.profiler is not None:
+            # the response cycles bill the interrupted domain
+            core.profiler.charge("irq", IRQ_RESPONSE_CYCLES)
         extra = 0
         for hook in core.call_hooks:
             result = hook(core, "irq", line=line,
@@ -59,5 +96,4 @@ class InterruptController:
         extra += core.push_return_address(core.pc)
         core.set_flag(SREG_BITS.I, 0)
         core.pc = self.vector_word(line)
-        # interrupt response time on AVR: four clock cycles minimum
-        return 4 + extra
+        return IRQ_RESPONSE_CYCLES + extra

@@ -60,6 +60,16 @@ class Machine:
         self.bus.tracer = tracer
         return tracer
 
+    def attach_trace(self, sink=None, capacity=65536):
+        """Attach a structured :class:`repro.trace.TraceSink`."""
+        from repro.trace import install_tracing
+        return install_tracing(self, sink=sink, capacity=capacity)
+
+    def attach_profiler(self, runtime_region=None):
+        """Attach a :class:`repro.trace.DomainProfiler`."""
+        from repro.trace import install_profiler
+        return install_profiler(self, runtime_region=runtime_region)
+
     # ------------------------------------------------------------------
     def resolve(self, target):
         """Resolve *target* (label name or byte address) to a byte addr."""

@@ -21,6 +21,11 @@ class Memory:
         #: byte at that address (used for the UMPU configuration
         #: registers, which live in the I/O window).
         self.io_devices = {}
+        #: callables notified with the word address of every flash
+        #: write; the core registers one to drop stale decode-cache
+        #: entries, so runtime flash patching (relocation, jump-table
+        #: flushes, self-modification) can never execute stale decodes.
+        self.flash_listeners = []
 
     # --- data space --------------------------------------------------
     def read_data(self, addr):
@@ -87,6 +92,8 @@ class Memory:
         if not 0 <= word_addr < len(self.flash):
             raise InvalidAccess(word_addr * 2)
         self.flash[word_addr] = value & 0xFFFF
+        for listener in self.flash_listeners:
+            listener(word_addr)
 
     def read_flash_byte(self, byte_addr):
         word = self.read_flash_word(byte_addr >> 1)

@@ -1,0 +1,94 @@
+"""repro.trace — cycle-attributed observability for the simulator.
+
+Three pieces:
+
+* :class:`TraceSink` — a bounded ring buffer of typed events
+  (instruction retirements, control transfers, IRQ entry/exit, domain
+  switches, bus accesses, MMC stalls, safe-stack redirects, protection
+  faults) emitted by the instrumented simulator components.  Attach with
+  :func:`install_tracing`; with no sink attached every emission site is
+  a single ``is not None`` check and cycle counts are untouched.
+* :class:`DomainProfiler` — attributes every CPU cycle (including
+  interposer stall cycles) to the protection domain that spent it and to
+  a category (app / runtime-checks / mmc-stall / safe-stack / irq).
+  Attach with :func:`install_profiler`; the invariant
+  ``profiler.total() == core.cycles - profiler.start_cycle`` is exact.
+* Exporters — :func:`to_chrome_trace` / :func:`write_chrome_trace`
+  (Chrome ``about://tracing`` JSON) and :func:`flat_report` (text).
+
+CLI: ``python -m repro.cli trace ...`` and ``python -m repro.cli
+profile ...``; see ``docs/observability.md``.
+"""
+
+from repro.trace.events import TraceEvent, TraceEventKind, TraceSink
+from repro.trace.export import (
+    domain_label,
+    flat_report,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.profiler import (
+    CAT_APP,
+    CAT_IRQ,
+    CAT_MMC,
+    CAT_RUNTIME,
+    CAT_SAFE_STACK,
+    CATEGORIES,
+    DomainProfiler,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceEventKind",
+    "TraceSink",
+    "DomainProfiler",
+    "CATEGORIES",
+    "CAT_APP",
+    "CAT_RUNTIME",
+    "CAT_MMC",
+    "CAT_SAFE_STACK",
+    "CAT_IRQ",
+    "domain_label",
+    "flat_report",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "install_tracing",
+    "install_profiler",
+    "uninstall",
+]
+
+
+def install_tracing(machine, sink=None, capacity=65536):
+    """Attach a :class:`TraceSink` to every instrumented component of
+    *machine* (core, bus — and, through them, the interrupt controller,
+    domain tracker, MMC and safe-stack unit, which read the sink off the
+    core/bus at emission time).  Returns the sink."""
+    if sink is None:
+        sink = TraceSink(capacity)
+    machine.core.trace = sink
+    machine.bus.trace = sink
+    return sink
+
+
+def install_profiler(machine, runtime_region=None):
+    """Attach a :class:`DomainProfiler` to *machine*.
+
+    On a UMPU machine the profiler follows ``regs.cur_domain``; on a
+    plain machine all cycles land on domain ``None`` ("cpu").
+    *runtime_region* is an optional (start_byte, end_byte) window of
+    trusted-runtime code classified as ``runtime-checks``."""
+    regs = getattr(machine, "regs", None)
+    provider = (lambda: regs.cur_domain) if regs is not None else None
+    profiler = DomainProfiler(provider, runtime_region=runtime_region)
+    profiler.start_cycle = machine.core.cycles
+    machine.core.profiler = profiler
+    machine.bus.profiler = profiler
+    return profiler
+
+
+def uninstall(machine):
+    """Detach any sink and profiler from *machine*."""
+    machine.core.trace = None
+    machine.bus.trace = None
+    machine.core.profiler = None
+    machine.bus.profiler = None

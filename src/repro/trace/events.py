@@ -1,0 +1,103 @@
+"""Typed trace events and the bounded ring-buffer sink.
+
+The simulator's components (core, bus, interrupt controller, UMPU
+functional units) emit structured :class:`TraceEvent` records into a
+:class:`TraceSink` when one is attached.  Every emission site is guarded
+by an ``is not None`` check on the component's ``trace`` attribute, so a
+machine without a sink pays nothing — cycle counts are byte-identical
+with tracing on or off, because tracing is purely observational.
+
+Events carry the CPU cycle at which they occurred, which makes them
+directly convertible to Chrome ``trace_event`` JSON (see
+:mod:`repro.trace.export`) and lets the :class:`~repro.trace.profiler.
+DomainProfiler` cross-check its per-domain attribution against the
+core's cycle counter.
+"""
+
+import enum
+from collections import Counter, deque
+from typing import NamedTuple
+
+
+class TraceEventKind(enum.Enum):
+    """The event vocabulary of the observability layer."""
+
+    INSTR_RETIRE = "instr_retire"          # one instruction completed
+    CONTROL_TRANSFER = "control_transfer"  # call/ret/ijmp
+    IRQ_ENTER = "irq_enter"                # interrupt taken
+    IRQ_EXIT = "irq_exit"                  # reti executed
+    IRQ_COALESCED = "irq_coalesced"        # raise on an already-pending line
+    DOMAIN_SWITCH = "domain_switch"        # cross-domain call/ret/irq swap
+    BUS_ACCESS = "bus_access"              # one data-bus transaction
+    MMC_STALL = "mmc_stall"                # MMC table-access stall cycle
+    SAFE_STACK_REDIRECT = "safe_stack_redirect"  # ret-addr byte redirected
+    PROTECTION_FAULT = "protection_fault"  # a unit vetoed an access
+
+
+class TraceEvent(NamedTuple):
+    """One timestamped event.
+
+    ``pc`` is a flash *byte* address (or None where no PC applies, e.g.
+    bus transactions observed outside the core), ``domain`` the
+    protection domain current at emission time (None on machines without
+    protection hardware), ``data`` a small dict of event-specific
+    fields.
+    """
+
+    cycle: int
+    kind: TraceEventKind
+    pc: int
+    domain: int
+    data: dict
+
+    def get(self, key, default=None):
+        return self.data.get(key, default)
+
+
+class TraceSink:
+    """Bounded ring buffer of :class:`TraceEvent` records.
+
+    The buffer keeps the most recent ``capacity`` events; older ones are
+    dropped (and counted in :attr:`dropped`) so a long run can't grow
+    without bound — the same discipline as a hardware trace port.
+    """
+
+    def __init__(self, capacity=65536):
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, cycle, kind, pc=None, domain=None, **data):
+        """Record one event (called from instrumented components)."""
+        self.emitted += 1
+        self._events.append(TraceEvent(cycle, kind, pc, domain, data))
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self):
+        return list(self._events)
+
+    @property
+    def dropped(self):
+        return self.emitted - len(self._events)
+
+    def of(self, kind):
+        """Events of one :class:`TraceEventKind`, oldest first."""
+        return [e for e in self._events if e.kind is kind]
+
+    def counts(self):
+        """Per-kind event counts (of the retained window)."""
+        return Counter(e.kind for e in self._events)
+
+    def clear(self):
+        self._events.clear()
+        self.emitted = 0
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __len__(self):
+        return len(self._events)

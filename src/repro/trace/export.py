@@ -1,0 +1,150 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and flat text reports.
+
+The Chrome format (load via ``about://tracing`` or https://ui.perfetto.
+dev) maps naturally onto the simulator: one *process* per node, one
+*track* (tid) per protection domain, instruction retirements as complete
+("X") slices whose duration is the instruction's cycle cost, and the
+protection machinery's moments — MMC stalls, safe-stack redirects,
+domain switches, faults — as instant ("i") events.  One simulated CPU
+cycle is rendered as one microsecond, trace_event's native unit.
+"""
+
+import json
+
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.trace.events import TraceEventKind
+
+#: trace_event "phase" per event kind: complete slices for retirements,
+#: instants for everything else.
+_INSTANT_KINDS = (
+    TraceEventKind.IRQ_ENTER,
+    TraceEventKind.IRQ_EXIT,
+    TraceEventKind.IRQ_COALESCED,
+    TraceEventKind.DOMAIN_SWITCH,
+    TraceEventKind.MMC_STALL,
+    TraceEventKind.SAFE_STACK_REDIRECT,
+    TraceEventKind.PROTECTION_FAULT,
+    TraceEventKind.CONTROL_TRANSFER,
+)
+
+
+def domain_label(domain):
+    if domain is None:
+        return "cpu"
+    if domain == TRUSTED_DOMAIN:
+        return "trusted"
+    return "domain {}".format(domain)
+
+
+def _tid(domain):
+    # tids must be integers; park domain-less events on track 0 and
+    # shift real domains up by one so they never collide.
+    return 0 if domain is None else domain + 1
+
+
+def _args(event):
+    args = {}
+    for key, value in event.data.items():
+        if isinstance(value, int) and key in ("addr", "target", "ret",
+                                              "table_addr"):
+            args[key] = "0x{:04x}".format(value)
+        else:
+            args[key] = value
+    if event.pc is not None:
+        args["pc"] = "0x{:04x}".format(event.pc)
+    return args
+
+
+def to_chrome_trace(sink, pid=0, process_name="avr-node"):
+    """Convert a :class:`~repro.trace.events.TraceSink` to a Chrome
+    ``trace_event`` document (a plain dict, ready for ``json.dump``)."""
+    events = []
+    tids = set()
+    for event in sink:
+        tid = _tid(event.domain)
+        tids.add((tid, event.domain))
+        if event.kind is TraceEventKind.INSTR_RETIRE:
+            events.append({
+                "name": event.get("key", "instr"),
+                "cat": "instr",
+                "ph": "X",
+                "ts": event.cycle - event.get("cycles", 1),
+                "dur": event.get("cycles", 1),
+                "pid": pid,
+                "tid": tid,
+                "args": _args(event),
+            })
+        elif event.kind in _INSTANT_KINDS:
+            events.append({
+                "name": event.kind.value,
+                "cat": "protection",
+                "ph": "i",
+                "s": "t",
+                "ts": event.cycle,
+                "pid": pid,
+                "tid": tid,
+                "args": _args(event),
+            })
+        else:  # BUS_ACCESS and any future kinds: zero-width slices
+            events.append({
+                "name": event.kind.value,
+                "cat": "bus",
+                "ph": "X",
+                "ts": event.cycle,
+                "dur": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": _args(event),
+            })
+    meta = [{"name": "process_name", "ph": "M", "pid": pid,
+             "args": {"name": process_name}}]
+    for tid, domain in sorted(tids):
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": domain_label(domain)}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, sink, pid=0, process_name="avr-node"):
+    """Write the Chrome trace JSON for *sink* to *path*."""
+    doc = to_chrome_trace(sink, pid=pid, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1)
+    return path
+
+
+# ---------------------------------------------------------------------
+def flat_report(profiler, sink=None, title="Cycle attribution"):
+    """Render the profiler's (domain, category) buckets as an ASCII
+    table, with the trace's event counts appended when a sink is given.
+    """
+    from repro.trace.profiler import CATEGORIES
+    domains = sorted(profiler.by_domain(),
+                     key=lambda d: (d is None, d))
+    headers = ("Domain",) + CATEGORIES + ("Total", "Share")
+    grand_total = profiler.total()
+    rows = []
+    for domain in domains:
+        breakdown = profiler.domain_breakdown(domain)
+        total = sum(breakdown.values())
+        share = ("{:.1f}%".format(100.0 * total / grand_total)
+                 if grand_total else "-")
+        rows.append((domain_label(domain),)
+                    + tuple(breakdown.get(c, 0) for c in CATEGORIES)
+                    + (total, share))
+    by_cat = profiler.by_category()
+    rows.append(("TOTAL",)
+                + tuple(by_cat.get(c, 0) for c in CATEGORIES)
+                + (grand_total, "100.0%" if grand_total else "-"))
+    from repro.analysis.tables import render_table
+    text = render_table(title, headers, rows,
+                        note="cycles attributed since attach: {}".format(
+                            grand_total))
+    if sink is not None:
+        lines = [text, "", "trace events ({} emitted, {} retained, {} "
+                 "dropped):".format(sink.emitted, len(sink),
+                                    sink.dropped)]
+        for kind, count in sorted(sink.counts().items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append("  {:<22} {}".format(kind.value, count))
+        text = "\n".join(lines)
+    return text

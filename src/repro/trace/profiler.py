@@ -1,0 +1,140 @@
+"""Per-domain cycle attribution (the measurement substrate for the
+paper's evaluation tables).
+
+The paper's numbers are all cycle accounting: how many cycles the MMC
+stall costs, how many the cross-domain frame sequencing costs, what a
+protected workload pays end to end.  :class:`DomainProfiler` splits the
+core's cycle counter into *(domain, category)* buckets so benchmarks can
+assert where cycles went, not just how many there were.
+
+Attribution protocol
+--------------------
+
+The core brackets every instruction step with :meth:`begin_step` /
+:meth:`end_step`.  In between, functional units report the stall cycles
+they inserted via :meth:`charge` (the MMC its table-access stall, the
+domain tracker its 5-cycle frame sequencing, the interrupt controller
+its 4-cycle response).  ``end_step`` attributes the remainder of the
+step — total consumed minus the explicit charges — to the ``app``
+category (or ``runtime-checks`` when the step's PC lay inside a
+configured trusted-runtime code window).
+
+Charges are kept pending until ``end_step`` commits them, so a step
+aborted by a protection fault (whose cycles never reach the core's
+counter) leaves no orphaned attribution — the invariant
+``profiler.total() == core.cycles - profiler.start_cycle`` holds
+exactly, and :meth:`assert_balanced` checks it.
+"""
+
+from collections import defaultdict
+
+#: Attribution categories.
+CAT_APP = "app"
+CAT_RUNTIME = "runtime-checks"
+CAT_MMC = "mmc-stall"
+CAT_SAFE_STACK = "safe-stack"
+CAT_IRQ = "irq"
+
+CATEGORIES = (CAT_APP, CAT_RUNTIME, CAT_MMC, CAT_SAFE_STACK, CAT_IRQ)
+
+
+class DomainProfiler:
+    """Attributes every core cycle to a (domain, category) bucket."""
+
+    def __init__(self, domain_provider=None, runtime_region=None):
+        #: callable returning the currently-active protection domain
+        #: (``regs.cur_domain`` on a UMPU machine); None on machines
+        #: without protection hardware — cycles land on domain None.
+        self.domain_provider = domain_provider
+        #: optional (start_byte, end_byte) window of trusted-runtime
+        #: code; steps fetched from inside it are ``runtime-checks``.
+        self.runtime_region = runtime_region
+        #: (domain, category) -> cycles
+        self.cycles = defaultdict(int)
+        #: core.cycles when the profiler was attached (set by
+        #: :func:`repro.trace.install_profiler`).
+        self.start_cycle = 0
+        self._in_step = False
+        self._pending = []
+        self._step_domain = None
+        self._step_pc_byte = None
+
+    # --- step bracketing (called by the core) -------------------------
+    def _domain(self):
+        return self.domain_provider() if self.domain_provider else None
+
+    def begin_step(self, core):
+        self._in_step = True
+        self._pending.clear()
+        self._step_domain = self._domain()
+        self._step_pc_byte = core.pc * 2
+
+    def end_step(self, core, consumed):
+        charged = 0
+        for domain, category, cycles in self._pending:
+            self.cycles[(domain, category)] += cycles
+            charged += cycles
+        self._pending.clear()
+        self._in_step = False
+        rest = consumed - charged
+        if rest:
+            category = CAT_APP
+            region = self.runtime_region
+            if region and region[0] <= self._step_pc_byte < region[1]:
+                category = CAT_RUNTIME
+            self.cycles[(self._step_domain, category)] += rest
+
+    # --- unit-side attribution ----------------------------------------
+    def charge(self, category, cycles, domain=None):
+        """Attribute *cycles* of the current step to *category*.
+
+        Outside a step bracket (host-side helpers whose stall cycles the
+        callers discard) the charge is ignored, keeping the attribution
+        sum equal to the core's cycle counter.
+        """
+        if not self._in_step or cycles <= 0:
+            return
+        if domain is None:
+            domain = self._domain()
+        self._pending.append((domain, category, cycles))
+
+    # --- reporting ----------------------------------------------------
+    def total(self):
+        return sum(self.cycles.values())
+
+    def by_domain(self):
+        """domain -> total attributed cycles."""
+        out = defaultdict(int)
+        for (domain, _category), cycles in self.cycles.items():
+            out[domain] += cycles
+        return dict(out)
+
+    def by_category(self):
+        """category -> total attributed cycles."""
+        out = defaultdict(int)
+        for (_domain, category), cycles in self.cycles.items():
+            out[category] += cycles
+        return dict(out)
+
+    def domain_breakdown(self, domain):
+        """category -> cycles for one domain."""
+        return {category: cycles
+                for (dom, category), cycles in self.cycles.items()
+                if dom == domain}
+
+    def assert_balanced(self, core):
+        """Every cycle the core spent since attach is attributed."""
+        expected = core.cycles - self.start_cycle
+        total = self.total()
+        if total != expected:
+            raise AssertionError(
+                "profiler attribution out of balance: attributed {} "
+                "cycles, core spent {}".format(total, expected))
+        return total
+
+    def reset(self, core=None):
+        self.cycles.clear()
+        self._pending.clear()
+        self._in_step = False
+        if core is not None:
+            self.start_cycle = core.cycles

@@ -69,6 +69,8 @@ class UmpuMachine(Machine):
         self.bus.add_interposer(self.mmc)
         self.tracker = DomainTracker(self.regs, self.safe_stack_unit)
         self.tracker.install(self.core)
+        # trace events and the profiler attribute to the active domain
+        self.core.domain_provider = lambda: self.regs.cur_domain
         self.layout = None
         self.memmap = None
         if layout is not None:

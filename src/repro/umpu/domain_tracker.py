@@ -28,6 +28,8 @@ The tracker watches every control transfer the core executes:
 from repro.core.control_flow import JumpTable
 from repro.core.encoding import TRUSTED_DOMAIN
 from repro.core.faults import JumpTableFault
+from repro.trace.events import TraceEventKind
+from repro.trace.profiler import CAT_SAFE_STACK
 
 #: Stall cycles of a cross-domain call / return (5-byte frame at one
 #: byte per clock).
@@ -83,6 +85,21 @@ class DomainTracker:
         return 0
 
     # ------------------------------------------------------------------
+    def _switched(self, core, old_domain, via, stall):
+        """A cross-domain transition happened: trace the switch and
+        attribute the frame-sequencing stall to the *old* domain (its
+        state is what the safe stack is moving)."""
+        # getattr: unit tests drive the tracker with minimal core stubs
+        trace = getattr(core, "trace", None)
+        if trace is not None:
+            trace.emit(core.cycles, TraceEventKind.DOMAIN_SWITCH,
+                       pc=core.pc * 2, domain=self.regs.cur_domain,
+                       via=via, from_domain=old_domain,
+                       to_domain=self.regs.cur_domain)
+        profiler = getattr(core, "profiler", None)
+        if profiler is not None:
+            profiler.charge(CAT_SAFE_STACK, stall, domain=old_domain)
+
     def _on_call(self, core, target_byte):
         jt = self.jump_table()
         if jt.contains(target_byte):
@@ -91,13 +108,16 @@ class DomainTracker:
             # sequence the caller's state onto the safe stack; the
             # core's redirected return-address push follows, completing
             # the frame [domain][sb_lo][sb_hi][ret_lo][ret_hi]
-            self.unit.push_byte(self.regs.cur_domain)
+            caller = self.regs.cur_domain
+            self.unit.push_byte(caller)
             self.unit.push_byte(self.regs.stack_bound & 0xFF)
             self.unit.push_byte((self.regs.stack_bound >> 8) & 0xFF)
             self.call_depths.append(0)
             self.regs.cur_domain = callee
             self.regs.stack_bound = core.sp
             self.cross_calls += 1
+            self._switched(core, caller, "call",
+                           CROSS_DOMAIN_CALL_CYCLES)
             return CROSS_DOMAIN_CALL_CYCLES
         # ordinary call: confined to the current domain's code
         self._confine(target_byte, "call")
@@ -117,16 +137,19 @@ class DomainTracker:
         sb_hi = self.unit.pop_byte()
         sb_lo = self.unit.pop_byte()
         prev_domain = self.unit.pop_byte()
+        callee = self.regs.cur_domain
         self.regs.stack_bound = (sb_hi << 8) | sb_lo
         self.regs.cur_domain = prev_domain
         self.cross_returns += 1
+        self._switched(core, callee, "ret", CROSS_DOMAIN_RET_CYCLES)
         return CROSS_DOMAIN_RET_CYCLES
 
     def _on_irq(self, core):
         """Interrupt entry: handlers are kernel code, so the hardware
         swaps to the trusted domain exactly like a cross-domain call (a
         frame on the safe stack, closed by the reti's return)."""
-        self.unit.push_byte(self.regs.cur_domain)
+        interrupted = self.regs.cur_domain
+        self.unit.push_byte(interrupted)
         self.unit.push_byte(self.regs.stack_bound & 0xFF)
         self.unit.push_byte((self.regs.stack_bound >> 8) & 0xFF)
         self.call_depths.append(0)
@@ -134,6 +157,8 @@ class DomainTracker:
         # the handler borrows the interrupted stack; trusted code is
         # unchecked, so the bound may stay as-is for the frame's pop
         self.cross_calls += 1
+        self._switched(core, interrupted, "irq",
+                       CROSS_DOMAIN_CALL_CYCLES)
         return CROSS_DOMAIN_CALL_CYCLES
 
     def _on_ijmp(self, target_byte):

@@ -26,6 +26,8 @@ from repro.core.faults import (
 )
 from repro.sim.bus import BusInterposer, WriteAction
 from repro.sim.events import AccessKind
+from repro.trace.events import TraceEventKind
+from repro.trace.profiler import CAT_MMC
 
 #: Cycles the MMC stalls the CPU per memory-map table access.
 MMC_STALL_CYCLES = 1
@@ -90,7 +92,7 @@ class MemMapController(BusInterposer):
             return None
         self._wave("intercept", addr=addr, domain=domain)
         if addr > regs.stack_bound:
-            self._fault()
+            self._fault(bus, addr, domain, "stack_bound")
             raise StackBoundFault(addr, domain, regs.stack_bound)
         if regs.mem_prot_bot <= addr <= regs.mem_prot_top:
             self.checked_stores += 1
@@ -100,22 +102,33 @@ class MemMapController(BusInterposer):
             self._wave("translate", table_addr=table_addr, shift=shift,
                        code=code, owner=owner)
             if owner != domain:
-                self._fault()
+                self._fault(bus, addr, domain, "memmap", owner=owner)
                 raise MemMapFault(addr, domain, owner)
             self._wave("write_enable", addr=addr)
+            if bus.trace is not None:
+                bus.trace.emit(bus._now(), TraceEventKind.MMC_STALL,
+                               domain=domain, addr=addr,
+                               table_addr=table_addr)
+            if bus.profiler is not None:
+                bus.profiler.charge(CAT_MMC, MMC_STALL_CYCLES,
+                                    domain=domain)
             return WriteAction(extra_cycles=MMC_STALL_CYCLES)
         if addr > regs.mem_prot_top:
             # the module's own stack window: the bound comparison above
             # already admitted it; no table access, no stall
             self._wave("stack_window", addr=addr)
             return None
-        self._fault()
+        self._fault(bus, addr, domain, "untrusted_access")
         raise UntrustedAccessFault(addr, domain)
 
     # ------------------------------------------------------------------
-    def _fault(self):
+    def _fault(self, bus=None, addr=None, domain=None, why=None, **data):
         self.faults += 1
         self._wave("exception")
+        if bus is not None and bus.trace is not None:
+            bus.trace.emit(bus._now(), TraceEventKind.PROTECTION_FAULT,
+                           domain=domain, unit=self.name, addr=addr,
+                           why=why, **data)
 
     def _wave(self, phase, **signals):
         if self.waveform is not None:

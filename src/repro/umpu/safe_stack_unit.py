@@ -25,6 +25,7 @@ with SP.
 from repro.core.faults import SafeStackOverflow, SafeStackUnderflow
 from repro.sim.bus import BusInterposer, ReadAction, WriteAction
 from repro.sim.events import AccessKind
+from repro.trace.events import TraceEventKind
 
 
 class SafeStackUnit(BusInterposer):
@@ -66,6 +67,12 @@ class SafeStackUnit(BusInterposer):
             return None
         self.push_byte(value)
         self.redirected_pushes += 1
+        if bus.trace is not None:
+            bus.trace.emit(bus._now(),
+                           TraceEventKind.SAFE_STACK_REDIRECT,
+                           domain=self.regs.cur_domain, addr=addr,
+                           target=self.regs.safe_stack_ptr - 1,
+                           write=True)
         # handled: the run-time stack never sees the byte; zero extra
         # cycles (the write happens in the slot the CPU already spends)
         return WriteAction(handled=True, extra_cycles=0)
@@ -75,4 +82,10 @@ class SafeStackUnit(BusInterposer):
             return None
         value = self.pop_byte()
         self.redirected_pops += 1
+        if bus.trace is not None:
+            bus.trace.emit(bus._now(),
+                           TraceEventKind.SAFE_STACK_REDIRECT,
+                           domain=self.regs.cur_domain, addr=addr,
+                           target=self.regs.safe_stack_ptr,
+                           write=False)
         return ReadAction(value=value, extra_cycles=0)

@@ -174,6 +174,10 @@ class UmpuSystem:
                     mem.write_flash_word(base_word + (idx - lo) + 1,
                                          new[1])
             idx += instr.size_words
+        # the patched words may sit at addresses the core has already
+        # executed (a reload at a reused base); never let it run stale
+        # decodes (write_flash_word also notifies the core per word)
+        self.machine.core.invalidate_decode_cache()
         return program
 
 
@@ -191,6 +195,9 @@ class UmpuSystem:
                 self.free(start + self.layout.heap_header)
         self.linker.unlink_domain(module.domain)
         self._flush_jump_table()
+        # the module's flash span is dead code now and its addresses
+        # will be reused by the next load there
+        self.machine.core.invalidate_decode_cache()
         self._free_domains.append(module.domain)
         return module
 

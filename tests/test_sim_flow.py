@@ -292,3 +292,110 @@ def test_decode_cache_invalidation():
     m.reset()
     m.run()
     assert m.core.reg(16) == 7
+
+
+def test_flash_write_invalidates_decode_cache_automatically():
+    # same rewrite as above, but relying on the flash-write listener:
+    # no manual invalidate_decode_cache() call
+    m = machine("    nop\n    break\n")
+    m.run()
+    m.memory.write_flash_word(0, 0xE007)  # ldi r16, 7
+    m.reset()
+    m.run()
+    assert m.core.reg(16) == 7
+
+
+def test_flash_write_to_second_word_invalidates_whole_instruction():
+    # patching the *operand* word of a 2-word instruction must drop the
+    # cached decode anchored one word earlier
+    m = machine("""
+        jmp a
+    a:
+        ldi r16, 1
+        break
+    b:
+        ldi r16, 2
+        break
+    """)
+    m.run()
+    assert m.core.reg(16) == 1
+    m.memory.write_flash_word(1, m.program.symbol("b") // 2)
+    m.reset()
+    m.run()
+    assert m.core.reg(16) == 2
+
+
+def test_instr_size_at_prefers_decode_cache():
+    # white-box: once an instruction is decoded, skip sizing must come
+    # from the cache, not a fresh flash probe
+    m = machine("""
+        cpse r16, r17
+        call sub
+        break
+    sub:
+        ldi r20, 1
+        ret
+    """)
+    m.core.pc = 1
+    m.core._fetch()                      # prime the cache for the call
+    assert m.core._instr_size_at(1) == 2
+    m.memory.flash[1] = 0x0000           # corrupt raw flash *behind* the
+    assert m.core._instr_size_at(1) == 2  # listener: cache still wins
+    m.core.invalidate_decode_cache()
+    assert m.core._instr_size_at(1) == 1  # uncached: probes flash
+
+
+def test_skip_over_32bit_cycles_stable_across_iterations():
+    # the cached-decode skip path must charge the same 3 cycles every
+    # time around the loop (cold decode vs warm cache)
+    m = machine("""
+        ldi r24, 3
+    loop:
+        cpse r16, r16       ; always equal: skip the call
+        call never
+        dec r24
+        brne loop
+        break
+    never:
+        ldi r20, 0xEE
+        ret
+    """)
+    sink = m.attach_trace()
+    m.run()
+    assert m.core.reg(20) == 0          # call never executed
+    from repro.trace import TraceEventKind
+    skips = [e.get("cycles") for e in sink.of(TraceEventKind.INSTR_RETIRE)
+             if e.get("key") == "cpse"]
+    assert skips == [3, 3, 3]           # skip over 2-word instr = 3 cycles
+
+
+# ---------------------------------------------------------------------
+# run() budget semantics
+# ---------------------------------------------------------------------
+def test_cycle_limit_checked_before_stepping():
+    m = machine("    nop\n    nop\n    nop\n    break\n")
+    with pytest.raises(CycleLimitExceeded) as exc:
+        m.core.run(max_cycles=2)
+    # exactly two 1-cycle nops ran; the third never started
+    assert m.core.pc == 2
+    assert m.core.cycles == 2
+    assert exc.value.limit == 2
+    assert exc.value.overshoot == 0
+
+
+def test_cycle_limit_reports_overshoot():
+    m = machine("loop:\n    rjmp loop\n")   # 2 cycles per iteration
+    with pytest.raises(CycleLimitExceeded) as exc:
+        m.run(max_cycles=3)
+    assert exc.value.limit == 3
+    assert exc.value.overshoot == 1         # last rjmp landed on 4
+    assert "by 1 cycle" in str(exc.value)
+
+
+def test_until_pc_reached_exactly_at_budget_succeeds():
+    # until_pc wins over an exactly-exhausted budget: a call that
+    # returns on its last allowed cycle is a success, not a runaway
+    m = machine("    nop\n    nop\n    break\n")
+    consumed = m.core.run(max_cycles=2, until_pc=2)
+    assert consumed == 2
+    assert m.core.pc == 2

@@ -157,3 +157,50 @@ def test_interrupt_domain_restored_exactly():
         m.core.step()
     assert m.regs.cur_domain == 0   # back in the module's domain
     assert m.regs.safe_stack_ptr == layout.safe_stack_base  # balanced
+
+
+# ---------------------------------------------------------------------
+# coalescing: raising an already-pending line is a single-bit flag
+# ---------------------------------------------------------------------
+def test_coalesced_raises_counted_per_line():
+    m = machine_with_irq()
+    ic = m.core.interrupts
+    for _ in range(3):
+        ic.raise_irq(1)
+    ic.raise_irq(2)
+    assert ic.raised == 4
+    assert ic.pending == {1, 2}
+    assert ic.coalesced == {1: 2}
+    assert ic.coalesced_total == 2
+    m.run()
+    assert m.core.reg(16) == 1       # handler ran once, not three times
+    assert m.core.reg(17) == 1
+    assert ic.taken == 2
+
+
+def test_coalesced_raise_emits_trace_event():
+    from repro.trace import TraceEventKind
+    m = machine_with_irq()
+    sink = m.attach_trace()
+    ic = m.core.interrupts
+    ic.raise_irq(1)
+    ic.raise_irq(1)
+    events = sink.of(TraceEventKind.IRQ_COALESCED)
+    assert len(events) == 1
+    assert events[0].get("line") == 1
+    assert events[0].get("coalesced") == 1
+
+
+def test_timer_fired_vs_taken_divergence_is_visible():
+    # a timer outpacing the CPU: fired counts raises, taken counts
+    # handler entries; the gap shows up in the coalescing counter
+    from repro.sim.devices import PeriodicTimer
+    m = machine_with_irq()
+    ic = m.core.interrupts
+    timer = PeriodicTimer(ic, line=1, period=10)
+    timer.tick(35)                   # 3 fires while I-flag is clear
+    assert timer.fired == 3
+    assert ic.pending == {1}
+    assert ic.coalesced_total == 2   # only the first raise stuck
+    m.run()
+    assert ic.taken == timer.fired - ic.coalesced_total

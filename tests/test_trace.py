@@ -1,0 +1,296 @@
+"""The observability layer: trace sink, per-domain profiler, exporters.
+
+Covers the tentpole guarantees: tracing is purely observational (cycle
+counts identical with the sink attached or not), the profiler's
+attribution sums exactly to the core's cycle counter on machine-level
+workloads (including cross-domain calls, MMC stalls and interrupts),
+and the exporters produce a loadable Chrome trace / readable report.
+"""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.encoding import TRUSTED_DOMAIN
+from repro.core.faults import MemMapFault
+from repro.sim import InterruptController, Machine
+from repro.sim.devices import PeriodicTimer
+from repro.trace import (
+    DomainProfiler,
+    TraceEventKind,
+    TraceSink,
+    flat_report,
+    install_profiler,
+    install_tracing,
+    to_chrome_trace,
+    uninstall,
+)
+from repro.umpu import HarborLayout, UmpuMachine, UmpuSystem
+
+LOOP_SRC = """
+main:
+    ldi r24, 4
+outer:
+    call work
+    dec r24
+    brne outer
+    break
+work:
+    ldi r26, 0x00
+    ldi r27, 0x03
+    ldi r18, 4
+fill:
+    st X+, r18
+    dec r18
+    brne fill
+    ret
+"""
+
+
+# ---------------------------------------------------------------------
+# TraceSink mechanics
+# ---------------------------------------------------------------------
+def test_sink_is_a_bounded_ring():
+    sink = TraceSink(capacity=3)
+    for cycle in range(5):
+        sink.emit(cycle, TraceEventKind.INSTR_RETIRE, key="nop")
+    assert len(sink) == 3
+    assert sink.emitted == 5
+    assert sink.dropped == 2
+    assert [e.cycle for e in sink] == [2, 3, 4]  # oldest dropped
+
+
+def test_sink_counts_and_filters():
+    sink = TraceSink()
+    sink.emit(0, TraceEventKind.INSTR_RETIRE, key="nop")
+    sink.emit(1, TraceEventKind.MMC_STALL, addr=0x200)
+    sink.emit(2, TraceEventKind.MMC_STALL, addr=0x208)
+    counts = sink.counts()
+    assert counts[TraceEventKind.MMC_STALL] == 2
+    assert [e.get("addr") for e in sink.of(TraceEventKind.MMC_STALL)] \
+        == [0x200, 0x208]
+    sink.clear()
+    assert len(sink) == 0 and sink.emitted == 0
+
+
+def test_sink_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        TraceSink(capacity=0)
+
+
+# ---------------------------------------------------------------------
+# Tracing is observational: cycles are byte-identical either way
+# ---------------------------------------------------------------------
+def test_tracing_does_not_change_cycle_counts():
+    plain = Machine(assemble(LOOP_SRC, "loop"))
+    plain.run()
+
+    traced = Machine(assemble(LOOP_SRC, "loop"))
+    sink = install_tracing(traced)
+    traced.run()
+    assert traced.core.cycles == plain.core.cycles
+    assert len(sink) > 0
+
+    # and detaching restores the untouched fast path
+    uninstall(traced)
+    assert traced.core.trace is None and traced.bus.trace is None
+
+
+def test_retire_events_cover_every_cycle():
+    machine = Machine(assemble(LOOP_SRC, "loop"))
+    sink = install_tracing(machine)
+    machine.run()
+    retired = sink.of(TraceEventKind.INSTR_RETIRE)
+    assert sum(e.get("cycles") for e in retired) == machine.core.cycles
+    # events carry byte PCs inside the program
+    assert all(e.pc is not None and e.pc % 2 == 0 for e in retired)
+
+
+def test_control_transfer_events():
+    machine = Machine(assemble(LOOP_SRC, "loop"))
+    sink = install_tracing(machine)
+    machine.run()
+    transfers = sink.of(TraceEventKind.CONTROL_TRANSFER)
+    kinds = {e.get("transfer") for e in transfers}
+    assert kinds == {"call", "ret"}
+    calls = [e for e in transfers if e.get("transfer") == "call"]
+    assert len(calls) == 4  # outer loop iterations
+
+
+# ---------------------------------------------------------------------
+# UMPU unit events
+# ---------------------------------------------------------------------
+def _umpu_workload():
+    from repro.analysis.microbench import attribution_breakdown
+    return attribution_breakdown(iterations=4)
+
+
+def test_umpu_events_emitted():
+    machine, _profiler, sink = _umpu_workload()
+    assert sink.of(TraceEventKind.MMC_STALL)
+    assert sink.of(TraceEventKind.SAFE_STACK_REDIRECT)
+    switches = sink.of(TraceEventKind.DOMAIN_SWITCH)
+    vias = {e.get("via") for e in switches}
+    assert vias == {"call", "ret"}
+    # each cross call is matched by a cross return
+    assert machine.tracker.cross_calls == machine.tracker.cross_returns
+
+
+def test_mmc_stall_events_match_checked_stores():
+    machine, profiler, sink = _umpu_workload()
+    stalls = sink.of(TraceEventKind.MMC_STALL)
+    assert len(stalls) == machine.mmc.checked_stores
+    assert profiler.by_category()["mmc-stall"] == len(stalls)
+
+
+def test_protection_fault_event():
+    layout = HarborLayout()
+    src = """
+    poke:
+        ldi r26, 0x00
+        ldi r27, 0x04
+        ldi r18, 7
+        st X, r18
+        ret
+    """
+    machine = UmpuMachine(assemble(src, "poke"), layout=layout)
+    machine.memmap.set_segment(0x0400, 8, 1)  # owned by domain 1
+    machine.tracker.register_code_region(0, 0, layout.jt_base)
+    sink = install_tracing(machine)
+    machine.enter_domain(0)
+    with pytest.raises(MemMapFault):
+        machine.call("poke")
+    faults = sink.of(TraceEventKind.PROTECTION_FAULT)
+    assert len(faults) == 1
+    assert faults[0].get("why") == "memmap"
+    assert faults[0].get("addr") == 0x0400
+    assert faults[0].domain == 0
+
+
+# ---------------------------------------------------------------------
+# DomainProfiler: exact attribution
+# ---------------------------------------------------------------------
+def test_profiler_balances_on_mixed_workload():
+    machine, profiler, _sink = _umpu_workload()
+    total = profiler.assert_balanced(machine.core)
+    assert total == machine.core.cycles - profiler.start_cycle
+    by_cat = profiler.by_category()
+    # 4 checked stores -> 4 MMC stall cycles
+    assert by_cat["mmc-stall"] == 4
+    # 4 cross calls + 4 cross rets, 5 stall cycles each
+    assert by_cat["safe-stack"] == 40
+    by_domain = profiler.by_domain()
+    assert set(by_domain) == {0, 1, TRUSTED_DOMAIN}
+
+
+def test_profiler_balances_under_interrupts():
+    src = """
+        jmp main
+        jmp handler
+    main:
+        sei
+    spin:
+        inc r20
+        cpi r20, 60
+        brne spin
+        break
+    handler:
+        inc r16
+        reti
+    """
+    machine = UmpuMachine(assemble(src, "irq"), layout=HarborLayout())
+    controller = InterruptController(machine.core, nvectors=4,
+                                    vector_stride_words=2)
+    PeriodicTimer(controller, line=1, period=25).install(machine.core)
+    sink = install_tracing(machine)
+    profiler = install_profiler(machine)
+    machine.run(max_cycles=100000)
+    profiler.assert_balanced(machine.core)
+    assert controller.taken > 0
+    by_cat = profiler.by_category()
+    assert by_cat["irq"] == 4 * controller.taken
+    # the tracker sequences a cross-domain frame per interrupt
+    assert by_cat["safe-stack"] == 10 * controller.taken
+    assert len(sink.of(TraceEventKind.IRQ_ENTER)) == controller.taken
+    assert len(sink.of(TraceEventKind.IRQ_EXIT)) == controller.taken
+
+
+def test_profiler_balances_on_full_umpu_system():
+    """End-to-end: module load + jump-table dispatch + kernel malloc +
+    checked stores — every cycle lands in a bucket (the acceptance
+    criterion's sensor-node analog at machine level)."""
+    system = UmpuSystem()
+    profiler = system.machine.attach_profiler()
+    sink = system.machine.attach_trace()
+    src = """
+    .equ KERNEL_MALLOC = {KERNEL_MALLOC}
+    work:
+        ldi r24, 8
+        ldi r25, 0
+        call KERNEL_MALLOC
+        cp r24, r1
+        cpc r25, r1
+        breq out
+        movw r26, r24
+        ldi r18, 0x5A
+        st X, r18
+    out:
+        ret
+    """.format(**{k: hex(v) for k, v in system.kernel_symbols().items()})
+    system.load_module(assemble(src, "mod"), "mod", exports=("work",))
+    for _ in range(3):
+        value, _cycles = system.call_export("mod", "work")
+        assert value, "malloc failed"
+    profiler.assert_balanced(system.machine.core)
+    by_cat = profiler.by_category()
+    assert by_cat["mmc-stall"] >= 3       # the module's own stores
+    assert by_cat["safe-stack"] >= 30     # dispatch frames
+    assert 0 in profiler.by_domain()      # module domain visible
+    assert sink.of(TraceEventKind.DOMAIN_SWITCH)
+
+
+def test_profiler_runtime_region_classification():
+    machine = Machine(assemble(LOOP_SRC, "loop"))
+    work = machine.program.symbol("work")
+    profiler = install_profiler(
+        machine, runtime_region=(work, work + 0x40))
+    machine.run()
+    by_cat = profiler.by_category()
+    assert by_cat["runtime-checks"] > 0
+    assert by_cat["app"] > 0
+    profiler.assert_balanced(machine.core)
+
+
+def test_out_of_step_charges_are_ignored():
+    profiler = DomainProfiler()
+    profiler.charge("mmc-stall", 5)  # no step open: host-side helper
+    assert profiler.total() == 0
+
+
+# ---------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------
+def test_chrome_trace_structure():
+    machine, _profiler, sink = _umpu_workload()
+    doc = to_chrome_trace(sink)
+    json.dumps(doc)  # must be serializable as-is
+    events = doc["traceEvents"]
+    assert events, "no events exported"
+    phases = {e["ph"] for e in events}
+    assert phases <= {"X", "i", "M"}
+    slices = [e for e in events if e["ph"] == "X" and e["cat"] == "instr"]
+    assert slices
+    assert all(e["ts"] >= 0 and e["dur"] >= 1 for e in slices)
+    names = [e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert "trusted" in names and "domain 0" in names
+
+
+def test_flat_report_renders():
+    machine, profiler, sink = _umpu_workload()
+    text = flat_report(profiler, sink)
+    assert "mmc-stall" in text
+    assert "trusted" in text
+    assert "TOTAL" in text
+    assert "dropped" in text

@@ -188,3 +188,50 @@ def test_umpu_cheaper_than_sfi_same_workload(system):
                              "release"))
     _ptr, sfi_cycles = sfi.call_export("mod", "alloc_and_fill", 1)
     assert umpu_cycles < sfi_cycles / 2
+
+
+def test_reload_at_reused_base_executes_fresh_code(system):
+    """Regression: unloading a module and loading a different one into
+    the same flash window must not execute stale cached decodes of the
+    old module's instructions."""
+    base = system._next_load
+    src_a = "f:\n    ldi r24, 0x11\n    ldi r25, 0\n    ret\n"
+    system.load_module(assemble(src_a, "a"), "a", exports=("f",))
+    val, _ = system.call_export("a", "f")
+    assert val == 0x11
+    system.unload_module("a")
+    system._next_load = base          # loader reuses the freed window
+    src_b = "f:\n    ldi r24, 0x22\n    ldi r25, 0\n    ret\n"
+    system.load_module(assemble(src_b, "b"), "b", exports=("f",))
+    val, _ = system.call_export("b", "f")
+    assert val == 0x22                # fresh decode, not module a's
+
+
+def test_relocation_patch_invalidates_decode_cache(system):
+    """Regression: _relocate_absolute patches flash words in place; a
+    decode of the pre-relocation word must never survive.  Prime the
+    cache over the raw load image, then relocate and call."""
+    src = """
+    entry:
+        call helper
+        ret
+    helper:
+        ldi r24, 0x42
+        ldi r25, 0
+        ret
+    """
+    program = assemble(src, "rel2")
+    base_word = system._next_load // 2
+    core = system.machine.core
+    # simulate a core that has speculatively decoded the raw image
+    # (absolute call still targeting origin 0)
+    lo, _hi = program.extent()
+    for word_addr, value in program.words.items():
+        system.machine.memory.write_flash_word(
+            base_word + (word_addr - lo), value)
+    pc, core.pc = core.pc, base_word
+    core._fetch()                     # caches the unrelocated call
+    core.pc = pc
+    system.load_module(program, "rel2", exports=("entry",))
+    val, _ = system.call_export("rel2", "entry")
+    assert val == 0x42
