@@ -9,7 +9,7 @@ instructions occupy two consecutive words with the operand field spread
 across both, exactly as on real silicon.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.isa.opcodes import SPECS, SPEC_BY_KEY
 
@@ -67,6 +67,29 @@ _DECODE_ORDER_32 = sorted(
     reverse=True,
 )
 
+# Precomputed first-word width probe: a flat 64 Ki table indexed by the
+# raw flash word, true iff it opens a 32-bit instruction.  Built by
+# enumerating the free bits of each 32-bit pattern's first word (a few
+# hundred entries), so the hot fetch path never scans pattern lists.
+_IS_32BIT = bytearray(1 << 16)
+
+
+def _enumerate_matches(mask16, value16):
+    free = [bit for bit in range(16) if not (mask16 >> bit) & 1]
+    for combo in range(1 << len(free)):
+        word = value16
+        for i, bit in enumerate(free):
+            if (combo >> i) & 1:
+                word |= 1 << bit
+        yield word
+
+
+for _spec in _DECODE_ORDER_32:
+    _pat = _COMPILED[_spec.key]
+    for _word in _enumerate_matches((_pat.mask >> 16) & 0xFFFF,
+                                    (_pat.value >> 16) & 0xFFFF):
+        _IS_32BIT[_word] = 1
+
 
 @dataclass(frozen=True)
 class DecodedInstr:
@@ -75,26 +98,28 @@ class DecodedInstr:
     ``operands`` are in assembly order and already translated out of
     field encoding (register numbers are real register numbers, branch
     offsets are signed word offsets).
+
+    ``key``, ``size_words`` and ``size_bytes`` are materialized once at
+    construction (not spec-chasing properties): the simulator reads them
+    on every retired instruction, so a decoded instruction answers them
+    with a plain attribute load.
     """
 
     spec: object
     operands: tuple
+    key: str = field(init=False, repr=False, compare=False)
+    size_words: int = field(init=False, repr=False, compare=False)
+    size_bytes: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def key(self):
-        return self.spec.key
+    def __post_init__(self):
+        spec = self.spec
+        object.__setattr__(self, "key", spec.key)
+        object.__setattr__(self, "size_words", spec.size_words)
+        object.__setattr__(self, "size_bytes", spec.size_bytes)
 
     @property
     def mnemonic(self):
         return self.spec.mnemonic
-
-    @property
-    def size_words(self):
-        return self.spec.size_words
-
-    @property
-    def size_bytes(self):
-        return self.spec.size_bytes
 
     def operand(self, letter):
         """Return the value of the operand with field letter *letter*."""
@@ -185,8 +210,4 @@ def decode_at(words, index):
 
 def is_32bit_opcode(word0):
     """True if *word0* is the first word of a 32-bit instruction."""
-    for spec in _DECODE_ORDER_32:
-        pat = _COMPILED[spec.key]
-        if (word0 & (pat.mask >> 16)) == (pat.value >> 16):
-            return True
-    return False
+    return bool(_IS_32BIT[word0 & 0xFFFF])

@@ -11,9 +11,19 @@ ALU ops, 2 for loads/stores and taken branches, 3/4 for calls, 4 for
 returns.  Functional units may add stall cycles per transaction; these
 are returned by the bus and added to the core's cycle counter, which is
 how the MMC's single-cycle store penalty is measured.
+
+Dispatch is threaded: ``_fetch`` resolves each instruction's executor
+once at decode time and caches ``(instr, handler, size_words,
+base_cycles)``, so the steady-state step is a dict probe plus one
+indirect call — no per-step name building.  :meth:`run` additionally
+selects a fast loop that hoists the interrupt/trace/profiler/device
+guards out of the loop entirely whenever none of those are attached;
+the fast and instrumented paths execute the identical handlers and are
+cycle-for-cycle identical (asserted by the differential tests).
 """
 
 from repro.isa.encoding import DecodeError, decode_words, is_32bit_opcode
+from repro.isa.opcodes import SPEC_BY_KEY
 from repro.isa.registers import ATMEGA103, SREG_BITS, IoReg
 from repro.sim.errors import BadOpcode, CycleLimitExceeded
 from repro.sim.events import AccessKind
@@ -27,6 +37,21 @@ _S = SREG_BITS.S
 _H = SREG_BITS.H
 _T = SREG_BITS.T
 
+# SREG bit masks for the flattened flag updates
+_MC = 1 << _C
+_MZ = 1 << _Z
+_MN = 1 << _N
+_MV = 1 << _V
+_MS = 1 << _S
+_MH = 1 << _H
+_MT = 1 << _T
+
+# data-space addresses of the named I/O registers the core touches on
+# nearly every instruction (SREG) or every call/push (SP)
+_SREG_ADDR = IoReg.SREG + 0x20
+_SPL_ADDR = IoReg.SPL + 0x20
+_SPH_ADDR = IoReg.SPH + 0x20
+
 _PTR_REG = {"X": 26, "Y": 28, "Z": 30}
 
 
@@ -39,8 +64,12 @@ class AvrCore:
         self.geometry = geometry
         self.pc = 0  # word address
         self.cycles = 0
+        #: retired-instruction counter (host-speed benchmarking; does
+        #: not influence simulated state)
+        self.instret = 0
         self.halted = False
         self._decode_cache = {}
+        self._flash_words = geometry.flash_words
         #: hooks called around control transfers; the UMPU domain
         #: tracker installs itself here. Signature: (core, event, ...).
         self.call_hooks = []
@@ -63,63 +92,78 @@ class AvrCore:
 
     # --- register / flag helpers ------------------------------------------
     def reg(self, n):
-        return self.memory.reg(n)
+        return self.memory.data[n]
 
     def set_reg(self, n, value):
-        self.memory.set_reg(n, value)
+        self.memory.data[n] = value & 0xFF
 
     def reg_pair(self, n):
-        return self.memory.reg_pair(n)
+        data = self.memory.data
+        return data[n] | (data[n + 1] << 8)
 
     def set_reg_pair(self, n, value):
-        self.memory.set_reg_pair(n, value)
+        data = self.memory.data
+        data[n] = value & 0xFF
+        data[n + 1] = (value >> 8) & 0xFF
 
     @property
     def sp(self):
-        return self.memory.sp
+        data = self.memory.data
+        return data[_SPL_ADDR] | (data[_SPH_ADDR] << 8)
 
     @sp.setter
     def sp(self, value):
-        self.memory.sp = value & 0xFFFF
+        data = self.memory.data
+        data[_SPL_ADDR] = value & 0xFF
+        data[_SPH_ADDR] = (value >> 8) & 0xFF
 
     @property
     def sreg(self):
-        return self.memory.sreg
+        return self.memory.data[_SREG_ADDR]
 
     @sreg.setter
     def sreg(self, value):
-        self.memory.sreg = value
+        self.memory.data[_SREG_ADDR] = value & 0xFF
 
     def flag(self, bit):
-        return (self.sreg >> bit) & 1
+        return (self.memory.data[_SREG_ADDR] >> bit) & 1
 
     def set_flag(self, bit, value):
+        data = self.memory.data
         if value:
-            self.memory.sreg |= 1 << bit
+            data[_SREG_ADDR] |= 1 << bit
         else:
-            self.memory.sreg &= ~(1 << bit) & 0xFF
-
-    def _set_zns(self, result):
-        self.set_flag(_Z, result == 0)
-        n = (result >> 7) & 1
-        self.set_flag(_N, n)
-        self.set_flag(_S, n ^ self.flag(_V))
+            data[_SREG_ADDR] &= ~(1 << bit) & 0xFF
 
     # --- fetch/decode -------------------------------------------------------
     def _fetch(self):
-        pc = self.pc
-        cached = self._decode_cache.get(pc)
-        if cached is not None:
-            return cached
+        """Return the threaded decode-cache entry for the current PC:
+        ``(instr, handler, size_words, base_cycles)``."""
+        entry = self._decode_cache.get(self.pc)
+        if entry is not None:
+            return entry
+        return self._decode_and_cache(self.pc)
+
+    def _decode_and_cache(self, pc):
+        """Decode the instruction at *pc*, bind its executor and cache
+        the threaded entry.  A 16-bit opcode costs one flash read; the
+        second word is only fetched for genuine 32-bit encodings."""
         w0 = self.memory.read_flash_word(pc)
-        w1 = self.memory.read_flash_word(pc + 1) \
-            if pc + 1 < self.geometry.flash_words else None
+        if is_32bit_opcode(w0):
+            w1 = self.memory.read_flash_word(pc + 1) \
+                if pc + 1 < self._flash_words else None
+        else:
+            w1 = None
         try:
             instr = decode_words(w0, w1)
         except DecodeError:
             raise BadOpcode(pc, w0)
-        self._decode_cache[pc] = instr
-        return instr
+        handler = _DISPATCH.get(instr.key)
+        if handler is None:
+            raise BadOpcode(pc, w0)
+        entry = (instr, handler, instr.size_words, instr.spec.cycles)
+        self._decode_cache[pc] = entry
+        return entry
 
     def invalidate_decode_cache(self):
         """Call after rewriting flash at runtime."""
@@ -128,7 +172,8 @@ class AvrCore:
     def _on_flash_write(self, word_addr):
         """Memory notified us of a flash write: drop any decode that
         covers the word (a 32-bit instruction starting one word earlier
-        spans it too)."""
+        spans it too).  The cached entry carries the bound handler, so
+        dropping it unbinds the stale executor as well."""
         cache = self._decode_cache
         if cache:
             cache.pop(word_addr, None)
@@ -144,20 +189,25 @@ class AvrCore:
         """
         cached = self._decode_cache.get(word_addr)
         if cached is not None:
-            return cached.size_words
+            return cached[2]
         w0 = self.memory.read_flash_word(word_addr)
         return 2 if is_32bit_opcode(w0) else 1
 
     # --- stack helpers -------------------------------------------------------
     def _push_byte(self, value, kind):
-        sp = self.sp
+        data = self.memory.data
+        sp = data[_SPL_ADDR] | (data[_SPH_ADDR] << 8)
         extra = self.bus.write(sp, value, kind)
-        self.sp = sp - 1
+        sp = (sp - 1) & 0xFFFF
+        data[_SPL_ADDR] = sp & 0xFF
+        data[_SPH_ADDR] = sp >> 8
         return extra
 
     def _pop_byte(self, kind):
-        sp = self.sp + 1
-        self.sp = sp
+        data = self.memory.data
+        sp = ((data[_SPL_ADDR] | (data[_SPH_ADDR] << 8)) + 1) & 0xFFFF
+        data[_SPL_ADDR] = sp & 0xFF
+        data[_SPH_ADDR] = sp >> 8
         value, extra = self.bus.read(sp, kind)
         return value, extra
 
@@ -181,6 +231,8 @@ class AvrCore:
 
         Pending interrupts are taken between instructions (classic AVR
         timing) and their response cycles are attributed to this step.
+        This is the fully instrumented path; :meth:`run` switches to an
+        equivalent fast loop when no instrumentation is attached.
         """
         if self.halted:
             return 0
@@ -191,14 +243,11 @@ class AvrCore:
         if self.interrupts is not None:
             self.cycles += self.interrupts.poll()
         pc0 = self.pc
-        instr = self._fetch()
-        handler = getattr(self, "_exec_" + instr.key, None)
-        if handler is None:
-            raise BadOpcode(self.pc, self.memory.read_flash_word(self.pc))
-        next_pc = self.pc + instr.size_words
-        self.pc = next_pc  # handlers overwrite for control transfers
-        extra = handler(instr) or 0
-        self.cycles += instr.spec.cycles + extra
+        instr, handler, size, base = self._fetch()
+        self.pc = pc0 + size  # handlers overwrite for control transfers
+        extra = handler(self, instr)
+        self.cycles += base + (extra or 0)
+        self.instret += 1
         consumed = self.cycles - before
         if profiler is not None:
             profiler.end_step(self, consumed)
@@ -226,9 +275,19 @@ class AvrCore:
         raised :class:`CycleLimitExceeded` carries how far the last
         executed step overshot the budget.
 
+        When no interrupt controller, trace sink, profiler or device is
+        attached, the run executes on a fast loop with those per-step
+        guards hoisted out; it is cycle-for-cycle identical to the
+        instrumented path.  Attach instrumentation *before* calling
+        ``run`` (as ``Machine.attach_*`` do) — the path is selected
+        once per call.
+
         Returns cycles consumed in this call.
         """
         start = self.cycles
+        if (self.interrupts is None and self.trace is None
+                and self.profiler is None and not self.devices):
+            return self._run_fast(start, max_cycles, until_pc)
         while not self.halted:
             if until_pc is not None and self.pc == until_pc:
                 break
@@ -239,195 +298,324 @@ class AvrCore:
             self.step()
         return self.cycles - start
 
+    def _run_fast(self, start, max_cycles, until_pc):
+        """Uninstrumented run loop: threaded dispatch straight off the
+        decode cache.  State transitions (PC, SREG, registers, memory,
+        cycle accounting, fault behaviour) are identical to repeated
+        :meth:`step` calls minus the detached-instrumentation guards."""
+        cache = self._decode_cache
+        decode = self._decode_and_cache
+        limit = start + max_cycles
+        instret = self.instret
+        try:
+            while not self.halted:
+                pc = self.pc
+                if pc == until_pc:
+                    break
+                cycles = self.cycles
+                if cycles >= limit:
+                    raise CycleLimitExceeded(
+                        max_cycles, overshoot=cycles - limit)
+                entry = cache.get(pc)
+                if entry is None:
+                    entry = decode(pc)
+                self.pc = pc + entry[2]
+                extra = entry[1](self, entry[0])
+                self.cycles = cycles + entry[3] + (extra or 0)
+                instret += 1
+        finally:
+            self.instret = instret
+        return self.cycles - start
+
     # ==================== ALU: add/sub family ============================
     def _add(self, d, r_val, carry):
-        rd = self.reg(d)
+        data = self.memory.data
+        rd = data[d]
         result = rd + r_val + carry
         res8 = result & 0xFF
-        self.set_flag(_H, ((rd & 0xF) + (r_val & 0xF) + carry) > 0xF)
-        self.set_flag(_C, result > 0xFF)
-        v = (~(rd ^ r_val) & (rd ^ res8) & 0x80) != 0
-        self.set_flag(_V, v)
-        self._set_zns(res8)
-        self.set_reg(d, res8)
+        sreg = data[_SREG_ADDR] & 0xC0  # keep I, T
+        if ((rd & 0xF) + (r_val & 0xF) + carry) > 0xF:
+            sreg |= _MH
+        if result > 0xFF:
+            sreg |= _MC
+        v = (~(rd ^ r_val) & (rd ^ res8)) & 0x80
+        if v:
+            sreg |= _MV
+        n = res8 & 0x80
+        if n:
+            sreg |= _MN
+        if (n != 0) ^ (v != 0):
+            sreg |= _MS
+        if res8 == 0:
+            sreg |= _MZ
+        data[_SREG_ADDR] = sreg
+        data[d] = res8
 
     def _sub(self, d, r_val, carry, store=True, keep_z=False):
-        rd = self.reg(d)
+        data = self.memory.data
+        rd = data[d]
         result = rd - r_val - carry
         res8 = result & 0xFF
-        self.set_flag(_H, ((rd & 0xF) - (r_val & 0xF) - carry) < 0)
-        self.set_flag(_C, result < 0)
-        v = ((rd ^ r_val) & (rd ^ res8) & 0x80) != 0
-        self.set_flag(_V, v)
-        if keep_z:
-            z_prev = self.flag(_Z)
-            self._set_zns(res8)
-            self.set_flag(_Z, (res8 == 0) and z_prev)
-            n = (res8 >> 7) & 1
-            self.set_flag(_S, n ^ self.flag(_V))
-        else:
-            self._set_zns(res8)
+        sreg = data[_SREG_ADDR]
+        z_prev = sreg & _MZ
+        sreg &= 0xC0  # keep I, T
+        if ((rd & 0xF) - (r_val & 0xF) - carry) < 0:
+            sreg |= _MH
+        if result < 0:
+            sreg |= _MC
+        v = ((rd ^ r_val) & (rd ^ res8)) & 0x80
+        if v:
+            sreg |= _MV
+        n = res8 & 0x80
+        if n:
+            sreg |= _MN
+        if (n != 0) ^ (v != 0):
+            sreg |= _MS
+        if res8 == 0 and (z_prev if keep_z else True):
+            sreg |= _MZ
+        data[_SREG_ADDR] = sreg
         if store:
-            self.set_reg(d, res8)
+            data[d] = res8
         return res8
 
     def _exec_add(self, i):
-        self._add(i.operands[0], self.reg(i.operands[1]), 0)
+        self._add(i.operands[0], self.memory.data[i.operands[1]], 0)
 
     def _exec_adc(self, i):
-        self._add(i.operands[0], self.reg(i.operands[1]), self.flag(_C))
+        data = self.memory.data
+        self._add(i.operands[0], data[i.operands[1]],
+                  data[_SREG_ADDR] & _MC)
 
     def _exec_sub(self, i):
-        self._sub(i.operands[0], self.reg(i.operands[1]), 0)
+        self._sub(i.operands[0], self.memory.data[i.operands[1]], 0)
 
     def _exec_sbc(self, i):
-        self._sub(i.operands[0], self.reg(i.operands[1]), self.flag(_C),
-                  keep_z=True)
+        data = self.memory.data
+        self._sub(i.operands[0], data[i.operands[1]],
+                  data[_SREG_ADDR] & _MC, keep_z=True)
 
     def _exec_subi(self, i):
         self._sub(i.operands[0], i.operands[1], 0)
 
     def _exec_sbci(self, i):
-        self._sub(i.operands[0], i.operands[1], self.flag(_C), keep_z=True)
+        self._sub(i.operands[0], i.operands[1],
+                  self.memory.data[_SREG_ADDR] & _MC, keep_z=True)
 
     def _exec_cp(self, i):
-        self._sub(i.operands[0], self.reg(i.operands[1]), 0, store=False)
+        self._sub(i.operands[0], self.memory.data[i.operands[1]], 0,
+                  store=False)
 
     def _exec_cpc(self, i):
-        self._sub(i.operands[0], self.reg(i.operands[1]), self.flag(_C),
-                  store=False, keep_z=True)
+        data = self.memory.data
+        self._sub(i.operands[0], data[i.operands[1]],
+                  data[_SREG_ADDR] & _MC, store=False, keep_z=True)
 
     def _exec_cpi(self, i):
         self._sub(i.operands[0], i.operands[1], 0, store=False)
 
     # ==================== ALU: logic ====================================
     def _logic(self, d, result):
-        self.set_flag(_V, 0)
-        self._set_zns(result)
-        self.set_reg(d, result)
+        # V cleared; Z/N/S from the result; C and H untouched
+        data = self.memory.data
+        sreg = data[_SREG_ADDR] & ~(_MV | _MZ | _MN | _MS) & 0xFF
+        if result == 0:
+            sreg |= _MZ
+        if result & 0x80:
+            sreg |= _MN | _MS  # V=0, so S = N
+        data[_SREG_ADDR] = sreg
+        data[d] = result
 
     def _exec_and(self, i):
-        self._logic(i.operands[0],
-                    self.reg(i.operands[0]) & self.reg(i.operands[1]))
+        data = self.memory.data
+        self._logic(i.operands[0], data[i.operands[0]] & data[i.operands[1]])
 
     def _exec_andi(self, i):
-        self._logic(i.operands[0], self.reg(i.operands[0]) & i.operands[1])
+        self._logic(i.operands[0],
+                    self.memory.data[i.operands[0]] & i.operands[1])
 
     def _exec_or(self, i):
-        self._logic(i.operands[0],
-                    self.reg(i.operands[0]) | self.reg(i.operands[1]))
+        data = self.memory.data
+        self._logic(i.operands[0], data[i.operands[0]] | data[i.operands[1]])
 
     def _exec_ori(self, i):
-        self._logic(i.operands[0], self.reg(i.operands[0]) | i.operands[1])
+        self._logic(i.operands[0],
+                    self.memory.data[i.operands[0]] | i.operands[1])
 
     def _exec_eor(self, i):
-        self._logic(i.operands[0],
-                    self.reg(i.operands[0]) ^ self.reg(i.operands[1]))
+        data = self.memory.data
+        self._logic(i.operands[0], data[i.operands[0]] ^ data[i.operands[1]])
 
     def _exec_com(self, i):
         d = i.operands[0]
-        result = (~self.reg(d)) & 0xFF
-        self.set_flag(_C, 1)
-        self.set_flag(_V, 0)
-        self._set_zns(result)
-        self.set_reg(d, result)
+        data = self.memory.data
+        result = (~data[d]) & 0xFF
+        # C set, V cleared, Z/N/S from the result; H untouched
+        sreg = (data[_SREG_ADDR] & (0xC0 | _MH)) | _MC
+        if result == 0:
+            sreg |= _MZ
+        if result & 0x80:
+            sreg |= _MN | _MS
+        data[_SREG_ADDR] = sreg
+        data[d] = result
 
     def _exec_neg(self, i):
         d = i.operands[0]
-        rd = self.reg(d)
+        data = self.memory.data
+        rd = data[d]
         result = (-rd) & 0xFF
-        self.set_flag(_H, ((result & 0x8) | (rd & 0x8)) != 0)
-        self.set_flag(_C, result != 0)
-        self.set_flag(_V, result == 0x80)
-        self._set_zns(result)
-        self.set_reg(d, result)
+        sreg = data[_SREG_ADDR] & 0xC0
+        if (result | rd) & 0x8:
+            sreg |= _MH
+        if result != 0:
+            sreg |= _MC
+        v = result == 0x80
+        if v:
+            sreg |= _MV
+        n = result & 0x80
+        if n:
+            sreg |= _MN
+        if (n != 0) ^ v:
+            sreg |= _MS
+        if result == 0:
+            sreg |= _MZ
+        data[_SREG_ADDR] = sreg
+        data[d] = result
+
+    def _inc_dec_flags(self, data, result, overflow):
+        # V from the operand, Z/N/S from the result; C and H untouched
+        sreg = data[_SREG_ADDR] & ~(_MV | _MZ | _MN | _MS) & 0xFF
+        if overflow:
+            sreg |= _MV
+        if result == 0:
+            sreg |= _MZ
+        if result & 0x80:
+            sreg |= _MN
+            if not overflow:
+                sreg |= _MS
+        elif overflow:
+            sreg |= _MS
+        data[_SREG_ADDR] = sreg
 
     def _exec_inc(self, i):
         d = i.operands[0]
-        result = (self.reg(d) + 1) & 0xFF
-        self.set_flag(_V, self.reg(d) == 0x7F)
-        self._set_zns(result)
-        self.set_reg(d, result)
+        data = self.memory.data
+        rd = data[d]
+        result = (rd + 1) & 0xFF
+        self._inc_dec_flags(data, result, rd == 0x7F)
+        data[d] = result
 
     def _exec_dec(self, i):
         d = i.operands[0]
-        result = (self.reg(d) - 1) & 0xFF
-        self.set_flag(_V, self.reg(d) == 0x80)
-        self._set_zns(result)
-        self.set_reg(d, result)
+        data = self.memory.data
+        rd = data[d]
+        result = (rd - 1) & 0xFF
+        self._inc_dec_flags(data, result, rd == 0x80)
+        data[d] = result
 
     def _exec_swap(self, i):
         d = i.operands[0]
-        rd = self.reg(d)
-        self.set_reg(d, ((rd << 4) | (rd >> 4)) & 0xFF)
+        data = self.memory.data
+        rd = data[d]
+        data[d] = ((rd << 4) | (rd >> 4)) & 0xFF
+
+    def _shift(self, d, rd, result):
+        # C from bit0 of the operand, V = N^C, Z/N/S from the result;
+        # H untouched
+        data = self.memory.data
+        sreg = data[_SREG_ADDR] & (0xC0 | _MH)
+        c = rd & 1
+        n = result & 0x80
+        if c:
+            sreg |= _MC
+        if n:
+            sreg |= _MN
+        v = (n != 0) ^ (c != 0)
+        if v:
+            sreg |= _MV
+        if (n != 0) ^ v:
+            sreg |= _MS
+        if result == 0:
+            sreg |= _MZ
+        data[_SREG_ADDR] = sreg
+        data[d] = result
 
     def _exec_asr(self, i):
         d = i.operands[0]
-        rd = self.reg(d)
-        result = (rd >> 1) | (rd & 0x80)
-        self._shift_flags(rd, result)
-        self.set_reg(d, result)
+        rd = self.memory.data[d]
+        self._shift(d, rd, (rd >> 1) | (rd & 0x80))
 
     def _exec_lsr(self, i):
         d = i.operands[0]
-        rd = self.reg(d)
-        result = rd >> 1
-        self._shift_flags(rd, result)
-        self.set_reg(d, result)
+        rd = self.memory.data[d]
+        self._shift(d, rd, rd >> 1)
 
     def _exec_ror(self, i):
         d = i.operands[0]
-        rd = self.reg(d)
-        result = (self.flag(_C) << 7) | (rd >> 1)
-        self._shift_flags(rd, result)
-        self.set_reg(d, result)
-
-    def _shift_flags(self, rd, result):
-        self.set_flag(_C, rd & 1)
-        n = (result >> 7) & 1
-        self.set_flag(_N, n)
-        self.set_flag(_V, n ^ (rd & 1))
-        self.set_flag(_Z, result == 0)
-        self.set_flag(_S, n ^ self.flag(_V))
+        data = self.memory.data
+        rd = data[d]
+        self._shift(d, rd, ((data[_SREG_ADDR] & _MC) << 7) | (rd >> 1))
 
     def _exec_mov(self, i):
-        self.set_reg(i.operands[0], self.reg(i.operands[1]))
+        data = self.memory.data
+        data[i.operands[0]] = data[i.operands[1]]
 
     def _exec_movw(self, i):
-        self.set_reg_pair(i.operands[0], self.reg_pair(i.operands[1]))
+        d, r = i.operands
+        data = self.memory.data
+        data[d] = data[r]
+        data[d + 1] = data[r + 1]
 
     def _exec_ldi(self, i):
-        self.set_reg(i.operands[0], i.operands[1])
+        self.memory.data[i.operands[0]] = i.operands[1] & 0xFF
 
     def _exec_mul(self, i):
-        product = self.reg(i.operands[0]) * self.reg(i.operands[1])
-        self.set_reg_pair(0, product)
-        self.set_flag(_C, (product >> 15) & 1)
-        self.set_flag(_Z, product == 0)
+        data = self.memory.data
+        product = data[i.operands[0]] * data[i.operands[1]]
+        data[0] = product & 0xFF
+        data[1] = (product >> 8) & 0xFF
+        sreg = data[_SREG_ADDR] & ~(_MC | _MZ) & 0xFF
+        if product & 0x8000:
+            sreg |= _MC
+        if product == 0:
+            sreg |= _MZ
+        data[_SREG_ADDR] = sreg
+
+    def _adiw_sbiw_flags(self, data, result, v, c):
+        sreg = data[_SREG_ADDR] & (0xC0 | _MH)
+        if v:
+            sreg |= _MV
+        if c:
+            sreg |= _MC
+        n = result & 0x8000
+        if n:
+            sreg |= _MN
+        if (n != 0) ^ (v != 0):
+            sreg |= _MS
+        if result == 0:
+            sreg |= _MZ
+        data[_SREG_ADDR] = sreg
 
     def _exec_adiw(self, i):
         d, k = i.operands
-        rd = self.reg_pair(d)
+        data = self.memory.data
+        rd = data[d] | (data[d + 1] << 8)
         result = (rd + k) & 0xFFFF
-        self.set_flag(_V, (~rd & result & 0x8000) != 0)
-        self.set_flag(_C, (~result & rd & 0x8000) != 0)
-        n = (result >> 15) & 1
-        self.set_flag(_N, n)
-        self.set_flag(_Z, result == 0)
-        self.set_flag(_S, n ^ self.flag(_V))
-        self.set_reg_pair(d, result)
+        self._adiw_sbiw_flags(data, result,
+                              (~rd & result) & 0x8000,
+                              (~result & rd) & 0x8000)
+        data[d] = result & 0xFF
+        data[d + 1] = result >> 8
 
     def _exec_sbiw(self, i):
         d, k = i.operands
-        rd = self.reg_pair(d)
+        data = self.memory.data
+        rd = data[d] | (data[d + 1] << 8)
         result = (rd - k) & 0xFFFF
-        self.set_flag(_V, (rd & ~result & 0x8000) != 0)
-        self.set_flag(_C, (result & ~rd & 0x8000) != 0)
-        n = (result >> 15) & 1
-        self.set_flag(_N, n)
-        self.set_flag(_Z, result == 0)
-        self.set_flag(_S, n ^ self.flag(_V))
-        self.set_reg_pair(d, result)
+        self._adiw_sbiw_flags(data, result,
+                              (rd & ~result) & 0x8000,
+                              (result & ~rd) & 0x8000)
+        data[d] = result & 0xFF
+        data[d + 1] = result >> 8
 
     # ==================== SREG / bit ops =================================
     def _exec_bset(self, i):
@@ -438,14 +626,19 @@ class AvrCore:
 
     def _exec_bst(self, i):
         d, b = i.operands
-        self.set_flag(_T, (self.reg(d) >> b) & 1)
+        data = self.memory.data
+        if (data[d] >> b) & 1:
+            data[_SREG_ADDR] |= _MT
+        else:
+            data[_SREG_ADDR] &= ~_MT & 0xFF
 
     def _exec_bld(self, i):
         d, b = i.operands
-        if self.flag(_T):
-            self.set_reg(d, self.reg(d) | (1 << b))
+        data = self.memory.data
+        if data[_SREG_ADDR] & _MT:
+            data[d] |= 1 << b
         else:
-            self.set_reg(d, self.reg(d) & ~(1 << b) & 0xFF)
+            data[d] &= ~(1 << b) & 0xFF
 
     # ==================== control transfer ================================
     def _notify(self, event, **kw):
@@ -526,11 +719,17 @@ class AvrCore:
 
     def _exec_brbs(self, i):
         s, k = i.operands
-        return self._branch(self.flag(s) == 1, k)
+        if (self.memory.data[_SREG_ADDR] >> s) & 1:
+            self.pc += k
+            return 1
+        return 0
 
     def _exec_brbc(self, i):
         s, k = i.operands
-        return self._branch(self.flag(s) == 0, k)
+        if (self.memory.data[_SREG_ADDR] >> s) & 1:
+            return 0
+        self.pc += k
+        return 1
 
     def _skip(self, condition):
         if not condition:
@@ -540,15 +739,16 @@ class AvrCore:
         return size
 
     def _exec_cpse(self, i):
-        return self._skip(self.reg(i.operands[0]) == self.reg(i.operands[1]))
+        data = self.memory.data
+        return self._skip(data[i.operands[0]] == data[i.operands[1]])
 
     def _exec_sbrc(self, i):
         r, b = i.operands
-        return self._skip(((self.reg(r) >> b) & 1) == 0)
+        return self._skip(((self.memory.data[r] >> b) & 1) == 0)
 
     def _exec_sbrs(self, i):
         r, b = i.operands
-        return self._skip(((self.reg(r) >> b) & 1) == 1)
+        return self._skip(((self.memory.data[r] >> b) & 1) == 1)
 
     def _exec_sbic(self, i):
         a, b = i.operands
@@ -565,7 +765,10 @@ class AvrCore:
         return _PTR_REG[spec.modes["ptr"]]
 
     def _effective_addr(self, instr):
-        """Resolve the address of a ld/st variant, applying inc/dec."""
+        """Resolve the address of a ld/st variant, applying inc/dec.
+
+        (Kept for introspection; the generated ld/st handlers resolve
+        their fixed addressing mode directly.)"""
         spec = instr.spec
         preg = self._pointer(spec)
         ptr = self.reg_pair(preg)
@@ -582,11 +785,12 @@ class AvrCore:
 
     def _load(self, d, addr):
         value, extra = self.bus.read(addr, AccessKind.DATA_LOAD)
-        self.set_reg(d, value)
+        self.memory.data[d] = value & 0xFF
         return extra
 
     def _store(self, addr, r):
-        return self.bus.write(addr, self.reg(r), AccessKind.DATA_STORE)
+        return self.bus.write(addr, self.memory.data[r],
+                              AccessKind.DATA_STORE)
 
     def _exec_lds(self, i):
         return self._load(i.operands[0], i.operands[1])
@@ -595,23 +799,24 @@ class AvrCore:
         return self._store(i.operands[0], i.operands[1])
 
     def _exec_push(self, i):
-        return self._push_byte(self.reg(i.operands[0]),
+        return self._push_byte(self.memory.data[i.operands[0]],
                                AccessKind.STACK_PUSH)
 
     def _exec_pop(self, i):
         value, extra = self._pop_byte(AccessKind.STACK_POP)
-        self.set_reg(i.operands[0], value)
+        self.memory.data[i.operands[0]] = value & 0xFF
         return extra
 
     def _exec_in(self, i):
         d, a = i.operands
         value, extra = self.bus.read(a + 0x20, AccessKind.IO_READ)
-        self.set_reg(d, value)
+        self.memory.data[d] = value & 0xFF
         return extra
 
     def _exec_out(self, i):
         a, r = i.operands
-        return self.bus.write(a + 0x20, self.reg(r), AccessKind.IO_WRITE)
+        return self.bus.write(a + 0x20, self.memory.data[r],
+                              AccessKind.IO_WRITE)
 
     def _exec_sbi(self, i):
         a, b = i.operands
@@ -670,19 +875,74 @@ class AvrCore:
         self.halted = True
 
 
-# generate ld/st variant handlers (they only differ in addressing mode,
-# which _effective_addr resolves from the spec)
+# generate ld/st variant handlers: each spec's addressing mode is fixed,
+# so the mode is resolved once here and the handler body is straight-line
 def _make_ld(key):
-    def handler(self, i):
-        return self._load(i.operands[0], self._effective_addr(i))
+    spec = SPEC_BY_KEY[key]
+    modes = spec.modes
+    preg = _PTR_REG[modes["ptr"]]
+
+    if modes.get("pre_dec"):
+        def handler(self, i):
+            data = self.memory.data
+            ptr = ((data[preg] | (data[preg + 1] << 8)) - 1) & 0xFFFF
+            data[preg] = ptr & 0xFF
+            data[preg + 1] = ptr >> 8
+            return self._load(i.operands[0], ptr)
+    elif modes.get("post_inc"):
+        def handler(self, i):
+            data = self.memory.data
+            ptr = data[preg] | (data[preg + 1] << 8)
+            nxt = (ptr + 1) & 0xFFFF
+            data[preg] = nxt & 0xFF
+            data[preg + 1] = nxt >> 8
+            return self._load(i.operands[0], ptr)
+    elif modes.get("disp"):
+        def handler(self, i):
+            data = self.memory.data
+            addr = ((data[preg] | (data[preg + 1] << 8))
+                    + i.operands[1]) & 0xFFFF  # ldd operands: (d, q)
+            return self._load(i.operands[0], addr)
+    else:
+        def handler(self, i):
+            data = self.memory.data
+            return self._load(i.operands[0],
+                              data[preg] | (data[preg + 1] << 8))
     handler.__name__ = "_exec_" + key
     return handler
 
 
 def _make_st(key):
-    def handler(self, i):
-        # value register is the last operand for st/std
-        return self._store(self._effective_addr(i), i.operands[-1])
+    spec = SPEC_BY_KEY[key]
+    modes = spec.modes
+    preg = _PTR_REG[modes["ptr"]]
+
+    if modes.get("pre_dec"):
+        def handler(self, i):
+            data = self.memory.data
+            ptr = ((data[preg] | (data[preg + 1] << 8)) - 1) & 0xFFFF
+            data[preg] = ptr & 0xFF
+            data[preg + 1] = ptr >> 8
+            return self._store(ptr, i.operands[-1])
+    elif modes.get("post_inc"):
+        def handler(self, i):
+            data = self.memory.data
+            ptr = data[preg] | (data[preg + 1] << 8)
+            nxt = (ptr + 1) & 0xFFFF
+            data[preg] = nxt & 0xFF
+            data[preg + 1] = nxt >> 8
+            return self._store(ptr, i.operands[-1])
+    elif modes.get("disp"):
+        def handler(self, i):
+            data = self.memory.data
+            addr = ((data[preg] | (data[preg + 1] << 8))
+                    + i.operands[0]) & 0xFFFF  # std operands: (q, r)
+            return self._store(addr, i.operands[-1])
+    else:
+        def handler(self, i):
+            data = self.memory.data
+            return self._store(data[preg] | (data[preg + 1] << 8),
+                               i.operands[-1])
     handler.__name__ = "_exec_" + key
     return handler
 
@@ -693,3 +953,13 @@ for _key in ("ld_x", "ld_xp", "ld_mx", "ld_yp", "ld_my", "ld_zp", "ld_mz",
 for _key in ("st_x", "st_xp", "st_mx", "st_yp", "st_my", "st_zp", "st_mz",
              "std_y", "std_z"):
     setattr(AvrCore, "_exec_" + _key, _make_st(_key))
+
+#: threaded-dispatch table: instruction key -> unbound executor.  Built
+#: once after all handlers (including the generated ld/st variants)
+#: exist; ``_decode_and_cache`` binds entries from here at decode time.
+_DISPATCH = {
+    _key: getattr(AvrCore, "_exec_" + _key)
+    for _key in SPEC_BY_KEY
+    if hasattr(AvrCore, "_exec_" + _key)
+}
+AvrCore._DISPATCH = _DISPATCH

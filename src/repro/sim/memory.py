@@ -47,9 +47,18 @@ class Memory:
         self.write_data(addr + 1, (value >> 8) & 0xFF)
 
     def fill_data(self, addr, data):
-        """Bulk-load *data* bytes starting at data address *addr*."""
-        for i, b in enumerate(data):
-            self.write_data(addr + i, b)
+        """Bulk-load *data* bytes starting at data address *addr*.
+
+        One bounds check for the whole block, then a slice assignment —
+        all-or-nothing: an out-of-range block writes no bytes at all."""
+        buf = bytes(b & 0xFF for b in data)
+        if not buf:
+            return
+        if not 0 <= addr <= self.geometry.data_end:
+            raise InvalidAccess(addr)
+        if addr + len(buf) - 1 > self.geometry.data_end:
+            raise InvalidAccess(self.geometry.data_end + 1)
+        self.data[addr:addr + len(buf)] = buf
 
     # --- register file ------------------------------------------------
     def reg(self, n):
@@ -100,6 +109,23 @@ class Memory:
         return (word >> 8) & 0xFF if byte_addr & 1 else word & 0xFF
 
     def load_program(self, program):
-        """Copy an assembled :class:`repro.asm.Program` into flash."""
-        for word_addr, value in program.words.items():
-            self.write_flash_word(word_addr, value)
+        """Copy an assembled :class:`repro.asm.Program` into flash.
+
+        Bulk path: one bounds check over the image's extent, direct word
+        stores, then the flash listeners are notified per written word —
+        the same invalidation the per-word write path performs, so no
+        stale decode can survive a (re)load."""
+        words = program.words
+        if not words:
+            return
+        lo, hi = min(words), max(words)
+        if lo < 0:
+            raise InvalidAccess(lo * 2)
+        if hi >= len(self.flash):
+            raise InvalidAccess(hi * 2)
+        flash = self.flash
+        for word_addr, value in words.items():
+            flash[word_addr] = value & 0xFFFF
+        for listener in self.flash_listeners:
+            for word_addr in words:
+                listener(word_addr)

@@ -34,6 +34,11 @@ MMC_STALL_CYCLES = 1
 
 _CHECKED_KINDS = (AccessKind.DATA_STORE, AccessKind.STACK_PUSH)
 
+#: preallocated verdict for the (hot) passed-check case: the bus only
+#: reads WriteAction fields, so one immutable instance serves every
+#: checked store without a per-transaction allocation
+_STALL_VERDICT = WriteAction(extra_cycles=MMC_STALL_CYCLES)
+
 
 class MemMapController(BusInterposer):
     """Hardware write checker, configured by :class:`UmpuRegisters`."""
@@ -96,9 +101,10 @@ class MemMapController(BusInterposer):
             raise StackBoundFault(addr, domain, regs.stack_bound)
         if regs.mem_prot_bot <= addr <= regs.mem_prot_top:
             self.checked_stores += 1
-            code = self.permission_at(addr)
-            owner = self._owner_of_code(code)
             table_addr, shift = self.translate(addr)
+            byte = self.memory.read_data(table_addr)
+            code = (byte >> shift) & ((1 << regs.bits_per_entry) - 1)
+            owner = self._owner_of_code(code)
             self._wave("translate", table_addr=table_addr, shift=shift,
                        code=code, owner=owner)
             if owner != domain:
@@ -112,7 +118,7 @@ class MemMapController(BusInterposer):
             if bus.profiler is not None:
                 bus.profiler.charge(CAT_MMC, MMC_STALL_CYCLES,
                                     domain=domain)
-            return WriteAction(extra_cycles=MMC_STALL_CYCLES)
+            return _STALL_VERDICT
         if addr > regs.mem_prot_top:
             # the module's own stack window: the bound comparison above
             # already admitted it; no table access, no stall

@@ -27,6 +27,10 @@ from repro.sim.bus import BusInterposer, ReadAction, WriteAction
 from repro.sim.events import AccessKind
 from repro.trace.events import TraceEventKind
 
+#: preallocated verdict for redirected pushes: the bus only reads
+#: WriteAction fields, so one immutable instance serves every push
+_HANDLED_VERDICT = WriteAction(handled=True, extra_cycles=0)
+
 
 class SafeStackUnit(BusInterposer):
     """Redirects return-address pushes/pops to the safe stack region."""
@@ -75,7 +79,7 @@ class SafeStackUnit(BusInterposer):
                            write=True)
         # handled: the run-time stack never sees the byte; zero extra
         # cycles (the write happens in the slot the CPU already spends)
-        return WriteAction(handled=True, extra_cycles=0)
+        return _HANDLED_VERDICT
 
     def on_read(self, bus, addr, kind):
         if not self.regs.enabled or kind is not AccessKind.RET_POP:

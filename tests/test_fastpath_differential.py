@@ -1,0 +1,228 @@
+"""Differential fuzz: the threaded-dispatch fast run loop must be
+cycle-for-cycle identical to the fully instrumented ``step()`` path.
+
+``AvrCore.run`` picks ``_run_fast`` only when nothing observes the
+core (no interrupts, trace sink, profiler or devices); otherwise it
+falls back to ``step()``.  These tests execute seeded-random but valid
+instruction programs on both paths and require the complete
+architectural state to match: cycle count, retired-instruction count,
+PC, SREG and every byte of the data space (registers, I/O, SP, SRAM).
+"""
+
+import random
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import Machine
+
+#: scratch SRAM window the generated memory blocks write into
+SCRATCH = 0x0800
+
+#: registers the ALU blocks draw from (r26-r31 are reserved for the
+#: X/Y/Z pointers the memory blocks manage)
+GP_REGS = list(range(16, 26))
+
+ALU2 = ["add", "adc", "sub", "sbc", "and", "or", "eor", "mov",
+        "cp", "cpc"]
+ALU1 = ["inc", "dec", "com", "neg", "lsr", "ror", "asr", "swap"]
+IMM = ["subi", "sbci", "andi", "ori", "cpi", "ldi"]
+SKIPS = ["sbrc", "sbrs"]
+
+
+def _block_alu(rng, lines):
+    kind = rng.randrange(4)
+    if kind == 0:
+        lines.append("    {} r{}, r{}".format(
+            rng.choice(ALU2), rng.choice(GP_REGS), rng.choice(GP_REGS)))
+    elif kind == 1:
+        lines.append("    {} r{}".format(
+            rng.choice(ALU1), rng.choice(GP_REGS)))
+    elif kind == 2:
+        lines.append("    {} r{}, {}".format(
+            rng.choice(IMM), rng.choice(GP_REGS), rng.randrange(256)))
+    else:
+        lines.append("    mul r{}, r{}".format(
+            rng.choice(GP_REGS), rng.choice(GP_REGS)))
+
+
+def _block_wide(rng, lines):
+    op = rng.choice(["adiw", "sbiw"])
+    lines.append("    {} r24, {}".format(op, rng.randrange(64)))
+
+
+def _block_memory(rng, lines):
+    # re-seat the pointer every block so displacement/post-inc walks
+    # stay inside the scratch window regardless of history
+    base = SCRATCH + rng.randrange(0, 0x100)
+    ptr, lo_reg, hi_reg = rng.choice(
+        [("x", 26, 27), ("y", 28, 29), ("z", 30, 31)])
+    lines.append("    ldi r{}, {}".format(lo_reg, base & 0xFF))
+    lines.append("    ldi r{}, {}".format(hi_reg, base >> 8))
+    for _ in range(rng.randrange(1, 4)):
+        reg = rng.choice(GP_REGS)
+        mode = rng.randrange(4)
+        if mode == 0:
+            lines.append("    st {}+, r{}".format(ptr, reg))
+        elif mode == 1:
+            lines.append("    ld r{}, {}+".format(reg, ptr))
+        elif mode == 2 and ptr in ("y", "z"):
+            lines.append("    std {}+{}, r{}".format(
+                ptr, rng.randrange(32), reg))
+        elif mode == 3 and ptr in ("y", "z"):
+            lines.append("    ldd r{}, {}+{}".format(
+                reg, ptr, rng.randrange(32)))
+        else:
+            lines.append("    st {}, r{}".format(ptr, reg))
+    addr = SCRATCH + 0x180 + rng.randrange(0x40)
+    lines.append("    sts {}, r{}".format(addr, rng.choice(GP_REGS)))
+    lines.append("    lds r{}, {}".format(rng.choice(GP_REGS), addr))
+
+
+def _block_stack(rng, lines):
+    regs = rng.sample(GP_REGS, 2)
+    lines.append("    push r{}".format(regs[0]))
+    lines.append("    push r{}".format(regs[1]))
+    lines.append("    pop r{}".format(regs[1]))
+    lines.append("    pop r{}".format(regs[0]))
+
+
+def _block_skip(rng, lines):
+    lines.append("    {} r{}, {}".format(
+        rng.choice(SKIPS), rng.choice(GP_REGS), rng.randrange(8)))
+    lines.append("    inc r{}".format(rng.choice(GP_REGS)))
+    lines.append("    cpse r{}, r{}".format(
+        rng.choice(GP_REGS), rng.choice(GP_REGS)))
+    lines.append("    dec r{}".format(rng.choice(GP_REGS)))
+
+
+def _block_call(rng, lines):
+    lines.append("    rcall scramble")
+
+
+def _block_bits(rng, lines):
+    lines.append("    bst r{}, {}".format(
+        rng.choice(GP_REGS), rng.randrange(8)))
+    lines.append("    bld r{}, {}".format(
+        rng.choice(GP_REGS), rng.randrange(8)))
+
+
+BLOCKS = [_block_alu, _block_alu, _block_alu, _block_wide,
+          _block_memory, _block_stack, _block_skip, _block_call,
+          _block_bits]
+
+
+def generate_program(seed, n_blocks=60):
+    """A seeded-random straight-line program of valid instructions,
+    closed by a short counted loop and ``break``."""
+    rng = random.Random(seed)
+    lines = []
+    for reg in range(16, 32):
+        lines.append("    ldi r{}, {}".format(reg, rng.randrange(256)))
+    for _ in range(n_blocks):
+        rng.choice(BLOCKS)(rng, lines)
+    lines += [
+        "    ldi r16, 7",
+        "tail:",
+        "    inc r17",
+        "    lsr r18",
+        "    dec r16",
+        "    brne tail",
+        "    break",
+        "scramble:",
+        "    eor r20, r21",
+        "    adc r22, r23",
+        "    ret",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def run_both_paths(src, max_cycles=2_000_000):
+    fast = Machine(assemble(src))
+    assert fast.core.trace is None and fast.core.profiler is None
+    fast.run(max_cycles=max_cycles)
+
+    slow = Machine(assemble(src))
+    slow.attach_trace()
+    slow.attach_profiler()
+    slow.run(max_cycles=max_cycles)
+    return fast, slow
+
+
+def assert_states_identical(fast, slow):
+    assert fast.core.cycles == slow.core.cycles
+    assert fast.core.instret == slow.core.instret
+    assert fast.core.pc == slow.core.pc
+    assert fast.core.halted == slow.core.halted
+    assert fast.core.memory.sreg == slow.core.memory.sreg
+    assert bytes(fast.core.memory.data) == bytes(slow.core.memory.data)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzzed_program_fast_vs_instrumented(seed):
+    fast, slow = run_both_paths(generate_program(seed))
+    assert fast.core.halted, "fuzzed program must reach break"
+    assert_states_identical(fast, slow)
+
+
+def test_path_selection():
+    """run() uses the fast loop exactly when nothing observes the core."""
+    src = generate_program(99, n_blocks=10)
+
+    m = Machine(assemble(src))
+    calls = []
+    original = m.core._run_fast
+    m.core._run_fast = lambda *a: calls.append(a) or original(*a)
+    m.run()
+    assert calls, "uninstrumented run must take the fast loop"
+
+    m2 = Machine(assemble(src))
+    m2.attach_trace()
+    m2.core._run_fast = lambda *a: pytest.fail(
+        "instrumented run must not take the fast loop")
+    m2.run()
+
+
+def test_until_pc_and_cycle_budget_match():
+    """Stop conditions agree between the paths (until_pc, budgets)."""
+    src = generate_program(7)
+    prog = assemble(src)
+
+    fast = Machine(prog)
+    slow = Machine(prog)
+    slow.attach_trace()
+    slow.attach_profiler()
+    # a budget small enough to interrupt mid-program
+    for m in (fast, slow):
+        with pytest.raises(Exception):
+            m.core.run(max_cycles=50)
+    assert fast.core.cycles == slow.core.cycles
+    assert fast.core.pc == slow.core.pc
+    assert fast.core.instret == slow.core.instret
+
+
+def test_flash_rewrite_rebinds_handler_on_fast_path():
+    """Runtime flash writes must drop the cached bound handler so the
+    fast loop decodes and executes the new instruction."""
+    src = """
+    spin:
+        rjmp spin
+        ldi r19, 5          ; dead until patched over
+    """
+    m = Machine(assemble(src))
+    from repro.sim import CycleLimitExceeded
+    with pytest.raises(CycleLimitExceeded):
+        m.run(max_cycles=200)      # fast loop, caches rjmp at pc=0
+    assert m.core.reg(19) == 0
+    # patch pc=0: rjmp spin -> ldi r19, 0x2A ; then break at pc=1
+    patched = assemble("""
+        ldi r19, 42
+        break
+    """)
+    for word_addr, value in patched.words.items():
+        m.core.memory.write_flash_word(word_addr, value)
+    m.core.pc = 0
+    m.core.halted = False
+    m.run(max_cycles=200)
+    assert m.core.halted
+    assert m.core.reg(19) == 42
