@@ -2,12 +2,18 @@
 """Regenerate every table and figure of the paper's evaluation in one
 run (the script form of the bench suite).
 
-Run:  python benchmarks/run_all.py [--attribution]
+Run:  python benchmarks/run_all.py [--attribution] [--metrics OUT.json]
 
 ``--attribution`` additionally prints, for every benchmark that
 supports it (``build_attribution`` hook), the per-domain cycle
 attribution of its workload — the observability layer's view of where
 the measured cycles went (see docs/observability.md).
+
+``--metrics OUT.json`` runs a representative UMPU workload with the
+metrics registry attached after the tables and writes the registry's
+schema-versioned JSON (see ``repro.trace.metrics`` for the schema) to
+OUT.json.  Stdout is byte-identical with or without the flag; the only
+difference is the file and a trailing stderr note.
 """
 
 import argparse
@@ -37,11 +43,33 @@ MODULES = [
 ]
 
 
+def collect_metrics(path, iterations=8):
+    """Run the Table-3 UMPU workload with the metrics registry attached
+    and write its JSON export (schema in ``repro.trace.metrics``)."""
+    from repro.analysis.microbench import build_umpu_bench
+    from repro.trace import write_metrics
+
+    machine, _probe, _jt = build_umpu_bench()
+    registry = machine.attach_metrics()
+    for _ in range(iterations):
+        machine.enter_domain(0)
+        machine.call("store_fn")
+        machine.enter_trusted()
+        machine.call("xcall_fn")
+    registry.sample(machine)
+    write_metrics(path, registry)
+    return registry
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--attribution", action="store_true",
                         help="also dump each benchmark's per-domain "
                              "cycle attribution where supported")
+    parser.add_argument("--metrics", default=None, metavar="OUT.json",
+                        help="run the UMPU metrics workload after the "
+                             "tables and write the registry JSON here "
+                             "(stdout stays byte-identical)")
     args = parser.parse_args(argv)
     for name, label in MODULES:
         module = importlib.import_module(name)
@@ -65,6 +93,11 @@ def main(argv=None):
         if args.attribution and hasattr(module, "build_attribution"):
             print()
             print(module.build_attribution()[1])
+    if args.metrics:
+        registry = collect_metrics(args.metrics)
+        print("# metrics -> {} ({} metrics)".format(args.metrics,
+                                                    len(registry)),
+              file=sys.stderr)
 
 
 if __name__ == "__main__":

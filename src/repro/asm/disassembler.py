@@ -130,6 +130,52 @@ def disassemble(words, start_word=0, count_words=None, symbols=None):
     return lines
 
 
+def disassemble_flash(read_word, start_word, count_words,
+                      symbols_by_addr=None):
+    """Disassemble a flash window through a word-read callable.
+
+    The forensics flight recorder uses this to render instruction
+    windows straight off :class:`repro.sim.memory.Memory` without
+    materializing a Program.  *read_word* may raise for out-of-range
+    addresses; the walk stops cleanly at the first unreadable word.
+    Returns a list of :class:`Line` with true byte addresses (so
+    relative-branch targets render correctly).
+    """
+    lines = []
+    i = start_word
+    end = start_word + count_words
+    while i < end:
+        try:
+            w0 = read_word(i)
+        except Exception:
+            break
+        try:
+            w1 = read_word(i + 1)
+        except Exception:
+            w1 = None
+        byte_addr = i * 2
+        try:
+            instr = decode_words(w0, w1)
+        except DecodeError:
+            lines.append(Line(byte_addr, (w0,), None,
+                              ".dw 0x{:04x}".format(w0)))
+            i += 1
+            continue
+        used = (w0,) if instr.size_words == 1 else (w0, w1)
+        lines.append(Line(byte_addr, used, instr,
+                          format_instr(instr, byte_addr, symbols_by_addr)))
+        i += instr.size_words
+    return lines
+
+
+def disassemble_one(read_word, word_addr, symbols_by_addr=None):
+    """Disassemble the single instruction at *word_addr*; returns a
+    :class:`Line` or None when the word is unreadable."""
+    lines = disassemble_flash(read_word, word_addr, 1,
+                              symbols_by_addr=symbols_by_addr)
+    return lines[0] if lines else None
+
+
 def listing(words, symbols=None):
     """Return a printable listing string for *words*."""
     out = []

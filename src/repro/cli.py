@@ -16,6 +16,11 @@ Installed as console scripts (see ``pyproject.toml``):
 * ``harbor-profile SOURCE`` — execute with the per-domain cycle
   profiler attached and print the attribution breakdown (optionally
   also exporting the Chrome trace); see ``docs/observability.md``.
+* ``harbor-explain-fault SOURCE`` — execute with tracing + the fault
+  forensics flight recorder attached; on a protection fault, print the
+  structured panic dump (text or ``--json``).
+* ``harbor-metrics SOURCE`` — execute with the metrics registry
+  attached and print/export the counters, gauges and histograms.
 
 The image format is deliberately trivial: one ``ADDR: WORD`` hex pair
 per line (word addresses), so images are diffable and editable.
@@ -303,15 +308,87 @@ def cmd_profile(argv=None):
     return 0
 
 
+def cmd_explain_fault(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-explain-fault",
+        description="run a program with fault forensics attached and "
+                    "explain any protection fault: registers, annotated "
+                    "faulting address, cross-domain call stack, and the "
+                    "last retired instructions")
+    _add_run_arguments(parser)
+    parser.add_argument("--window", type=int, default=16,
+                        help="instructions of history to disassemble")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of text")
+    parser.add_argument("-o", "--output", default=None, metavar="OUT.json",
+                        help="also write the JSON report here")
+    args = parser.parse_args(argv)
+    machine = _build_machine(args)
+    machine.attach_trace()
+    machine.attach_forensics(window=args.window)
+    cycles, fault = _execute(machine, args)
+    if fault is None:
+        print("no protection fault after {} cycles".format(cycles))
+        return 0
+    report = getattr(fault, "report", None)
+    if report is None:  # fault from a layer outside the machine funnel
+        machine.record_fault(fault)
+        report = fault.report
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.text())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json())
+        print("; fault report -> {}".format(args.output), file=sys.stderr)
+    return 2
+
+
+def cmd_metrics(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-metrics",
+        description="run a program with the metrics registry attached "
+                    "and print the counters/gauges/histograms")
+    _add_run_arguments(parser)
+    parser.add_argument("--json", action="store_true",
+                        help="print the registry as JSON instead of text")
+    parser.add_argument("-o", "--output", default=None, metavar="OUT.json",
+                        help="also write the JSON export here")
+    args = parser.parse_args(argv)
+    import json as json_mod
+
+    from repro.trace import write_metrics
+    machine = _build_machine(args)
+    registry = machine.attach_metrics()
+    cycles, fault = _execute(machine, args)
+    registry.sample(machine)
+    if args.json:
+        print(json_mod.dumps(registry.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(registry.render())
+    if args.output:
+        write_metrics(args.output, registry)
+        print("; metrics -> {}".format(args.output), file=sys.stderr)
+    print("; {} cycles, {} metrics".format(cycles, len(registry)),
+          file=sys.stderr)
+    if fault is not None:
+        print("protection fault: {}".format(fault), file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None):
     """Multiplexer: ``python -m repro.cli <tool> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     tools = {"asm": cmd_asm, "disasm": cmd_disasm,
              "rewrite": cmd_rewrite, "verify": cmd_verify,
-             "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile}
+             "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile,
+             "explain-fault": cmd_explain_fault, "metrics": cmd_metrics}
     if not argv or argv[0] not in tools:
         print("usage: python -m repro.cli "
-              "{asm|disasm|rewrite|verify|run|trace|profile} ...",
+              "{asm|disasm|rewrite|verify|run|trace|profile|"
+              "explain-fault|metrics} ...",
               file=sys.stderr)
         return 64
     return tools[argv[0]](argv[1:])

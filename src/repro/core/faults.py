@@ -10,7 +10,16 @@ the kernel panic handler (OS integration), mirroring the paper's
 
 
 class ProtectionFault(Exception):
-    """Base class for all Harbor protection violations."""
+    """Base class for all Harbor protection violations.
+
+    Every fault class carries a stable, machine-readable ``code`` slug
+    (class attribute) used by the forensics layer, the metrics registry
+    and the on-node numeric fault-code round-trip
+    (:func:`fault_from_code`).  Codes are part of the external format
+    (JSON reports, CI artifacts) — never rename one.
+    """
+
+    code = "protection"
 
     def __init__(self, message, domain=None, addr=None):
         self.domain = domain
@@ -28,6 +37,8 @@ class ProtectionFault(Exception):
 class MemMapFault(ProtectionFault):
     """A store targeted a block owned by a different domain."""
 
+    code = "memmap"
+
     def __init__(self, addr, domain, owner):
         self.owner = owner
         super().__init__(
@@ -38,6 +49,8 @@ class MemMapFault(ProtectionFault):
 class StackBoundFault(ProtectionFault):
     """A store targeted the run-time stack above the current stack bound
     (i.e. the caller domains' stack frames)."""
+
+    code = "stack_bound"
 
     def __init__(self, addr, domain, stack_bound):
         self.stack_bound = stack_bound
@@ -51,6 +64,8 @@ class UntrustedAccessFault(ProtectionFault):
     memory-map-protected region and its stack window (I/O registers,
     trusted globals, the register file)."""
 
+    code = "outside_region"
+
     def __init__(self, addr, domain):
         super().__init__("store outside protected region and stack window",
                          domain=domain, addr=addr)
@@ -59,6 +74,8 @@ class UntrustedAccessFault(ProtectionFault):
 class JumpTableFault(ProtectionFault):
     """A cross-domain control transfer did not target a valid jump-table
     entry (bad base, bad domain index, or an empty slot)."""
+
+    code = "jump_table"
 
     def __init__(self, target, domain=None, reason="not a jump table entry"):
         self.target = target
@@ -71,6 +88,8 @@ class JumpTableFault(ProtectionFault):
 class SafeStackOverflow(ProtectionFault):
     """The safe stack grew into the run-time stack (or its limit)."""
 
+    code = "safe_stack_overflow"
+
     def __init__(self, ptr, limit):
         self.ptr = ptr
         self.limit = limit
@@ -82,6 +101,8 @@ class SafeStackOverflow(ProtectionFault):
 class SafeStackUnderflow(ProtectionFault):
     """A cross-domain return with no matching cross-domain call."""
 
+    code = "safe_stack_underflow"
+
     def __init__(self):
         super().__init__("safe stack underflow: unmatched return")
 
@@ -89,6 +110,8 @@ class SafeStackUnderflow(ProtectionFault):
 class OwnershipFault(ProtectionFault):
     """free()/change_own() attempted by a domain that does not own the
     segment (prevents hijacking or freeing foreign memory)."""
+
+    code = "ownership"
 
     def __init__(self, addr, domain, owner, operation):
         self.owner = owner
@@ -102,5 +125,55 @@ class ConfigFault(ProtectionFault):
     """An untrusted domain attempted to reprogram protection state
     (memory-map configuration registers, safe stack pointer, ...)."""
 
+    code = "config"
+
     def __init__(self, what, domain=None):
+        self.what = what
         super().__init__("untrusted write to {}".format(what), domain=domain)
+
+
+#: code slug -> fault class (every concrete fault type, plus the base).
+FAULT_BY_CODE = {cls.code: cls for cls in (
+    ProtectionFault, MemMapFault, StackBoundFault, UntrustedAccessFault,
+    JumpTableFault, SafeStackOverflow, SafeStackUnderflow, OwnershipFault,
+    ConfigFault)}
+
+
+def fault_from_code(code, addr=None, domain=None, **context):
+    """Rebuild the typed fault for a stable ``code`` slug.
+
+    The inverse of reading ``fault.code``: the on-node runtimes report
+    violations as numeric codes in trusted SRAM (see
+    :mod:`repro.sfi.layout`); the host maps the number to its slug and
+    calls this to get the same typed exception the hardware units raise
+    directly.  *context* supplies the per-type extras when known
+    (``owner``, ``stack_bound``, ``ptr``/``limit``, ``operation``,
+    ``what``, ``reason``); missing extras degrade to ``None``/defaults,
+    never to an anonymous :class:`ProtectionFault`.
+    """
+    cls = FAULT_BY_CODE.get(code)
+    if cls is MemMapFault:
+        return MemMapFault(addr, domain, context.get("owner"))
+    if cls is StackBoundFault:
+        return StackBoundFault(addr, domain, context.get("stack_bound", 0))
+    if cls is UntrustedAccessFault:
+        return UntrustedAccessFault(addr, domain)
+    if cls is JumpTableFault:
+        if "reason" in context:
+            return JumpTableFault(addr or 0, domain=domain,
+                                  reason=context["reason"])
+        return JumpTableFault(addr or 0, domain=domain)
+    if cls is SafeStackOverflow:
+        return SafeStackOverflow(context.get("ptr", addr or 0),
+                                 context.get("limit", 0))
+    if cls is SafeStackUnderflow:
+        return SafeStackUnderflow()
+    if cls is OwnershipFault:
+        return OwnershipFault(addr, domain, context.get("owner"),
+                              context.get("operation", "free/change_own"))
+    if cls is ConfigFault:
+        return ConfigFault(context.get("what", "protection state"),
+                           domain=domain)
+    message = context.get("message",
+                          "protection fault (code {!r})".format(code))
+    return ProtectionFault(message, domain=domain, addr=addr)

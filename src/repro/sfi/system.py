@@ -68,6 +68,8 @@ class SfiSystem:
         self.layout = layout or SfiLayout()
         self.runtime = build_runtime(self.layout)
         self.machine = Machine(self.runtime)
+        self.machine.attach_forensics(layout=self.layout,
+                                      memmap=lambda: self.memmap)
         self.jump_table = JumpTable(
             base=self.layout.jt_base,
             ndomains=self.layout.ndomains,
@@ -235,7 +237,7 @@ class SfiSystem:
         exc = self._fault_exception()
         if exc is not None:
             self.clear_fault()
-            raise exc
+            raise self.machine.record_fault(exc)
         return cycles
 
     # ------------------------------------------------------------------
@@ -256,11 +258,14 @@ class SfiSystem:
         m.core.push_return_address(0xFFFE)
         m.core.pc = self.runtime.symbol(target) // 2
         start = m.core.cycles
-        m.core.run(max_cycles=max_cycles, until_pc=0xFFFE)
+        try:
+            m.core.run(max_cycles=max_cycles, until_pc=0xFFFE)
+        except ProtectionFault as fault:
+            raise m.record_fault(fault)
         exc = self._fault_exception()
         if exc is not None:
             self.clear_fault()
-            raise exc
+            raise self.machine.record_fault(exc)
         return m.core.cycles - start
 
     # --- trusted host-side memory API -------------------------------------------

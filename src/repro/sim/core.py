@@ -82,6 +82,11 @@ class AvrCore:
         self.trace = None
         #: optional repro.trace.DomainProfiler
         self.profiler = None
+        #: optional repro.trace.debug.Debugger (PC breakpoints); checked
+        #: before each step on the instrumented path
+        self.debug = None
+        #: optional repro.trace.metrics.MetricsRegistry
+        self.metrics = None
         #: callable returning the active protection domain (set by
         #: UmpuMachine); None on cores without protection hardware
         self.domain_provider = None
@@ -236,6 +241,9 @@ class AvrCore:
         """
         if self.halted:
             return 0
+        debug = self.debug
+        if debug is not None:
+            debug.check_pc(self)
         before = self.cycles
         profiler = self.profiler
         if profiler is not None:
@@ -275,8 +283,9 @@ class AvrCore:
         raised :class:`CycleLimitExceeded` carries how far the last
         executed step overshot the budget.
 
-        When no interrupt controller, trace sink, profiler or device is
-        attached, the run executes on a fast loop with those per-step
+        When no interrupt controller, trace sink, profiler, debugger,
+        metrics registry or device is attached, the run executes on a
+        fast loop with the per-step
         guards hoisted out; it is cycle-for-cycle identical to the
         instrumented path.  Attach instrumentation *before* calling
         ``run`` (as ``Machine.attach_*`` do) — the path is selected
@@ -286,7 +295,8 @@ class AvrCore:
         """
         start = self.cycles
         if (self.interrupts is None and self.trace is None
-                and self.profiler is None and not self.devices):
+                and self.profiler is None and self.debug is None
+                and self.metrics is None and not self.devices):
             return self._run_fast(start, max_cycles, until_pc)
         while not self.halted:
             if until_pc is not None and self.pc == until_pc:

@@ -17,6 +17,7 @@ worse, a handler's stores would be checked against module ownership.
 
 from repro.isa.registers import SREG_BITS
 from repro.trace.events import TraceEventKind
+from repro.trace.metrics import LATENCY_BUCKETS
 
 #: AVR interrupt response time: four clock cycles minimum.
 IRQ_RESPONSE_CYCLES = 4
@@ -36,6 +37,9 @@ class InterruptController:
         #: pending (a set can't queue; real hardware's one-bit flag
         #: behaves the same way, but here the loss is visible)
         self.coalesced = {}
+        #: line -> cycle of the raise that made it pending (for the
+        #: irq_entry_latency metric; popped when the line is taken)
+        self._raised_at = {}
         core.interrupts = self
 
     @property
@@ -63,6 +67,7 @@ class InterruptController:
                            coalesced=self.coalesced[line])
             return
         self.pending.add(line)
+        self._raised_at[line] = self.core.cycles
 
     def vector_word(self, line):
         return line * self.vector_stride_words
@@ -79,6 +84,11 @@ class InterruptController:
         line = min(self.pending)
         self.pending.discard(line)
         self.taken += 1
+        raised = self._raised_at.pop(line, None)
+        metrics = core.metrics
+        if metrics is not None and raised is not None:
+            metrics.histogram("irq_entry_latency", buckets=LATENCY_BUCKETS,
+                              line=line).observe(core.cycles - raised)
         if core.trace is not None:
             core.trace.emit(core.cycles, TraceEventKind.IRQ_ENTER,
                             pc=core.pc * 2, domain=core._trace_domain(),

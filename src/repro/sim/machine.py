@@ -12,6 +12,7 @@ Harbor runtime:
 """
 
 from repro.asm.program import Program
+from repro.core.faults import ProtectionFault
 from repro.isa.registers import ATMEGA103
 from repro.sim.core import AvrCore
 from repro.sim.bus import DataBus
@@ -33,6 +34,8 @@ class Machine:
         self.bus = DataBus(self.memory)
         self.core = AvrCore(self.memory, self.bus, geometry)
         self.program = None
+        #: optional repro.trace.forensics.FlightRecorder
+        self.forensics = None
         if program is not None:
             self.load(program)
         self.reset()
@@ -69,6 +72,58 @@ class Machine:
         """Attach a :class:`repro.trace.DomainProfiler`."""
         from repro.trace import install_profiler
         return install_profiler(self, runtime_region=runtime_region)
+
+    def attach_forensics(self, window=16, layout=None, memmap=None):
+        """Attach a :class:`repro.trace.forensics.FlightRecorder` so
+        every propagating :class:`ProtectionFault` carries a
+        :class:`~repro.trace.forensics.FaultReport`.  *layout* drives
+        region classification / software call-stack reconstruction;
+        *memmap* is a :class:`~repro.core.memmap.MemoryMap` (or a
+        zero-arg callable returning one) for owner annotation."""
+        from repro.trace.forensics import FlightRecorder
+        if self.forensics is None:
+            self.forensics = FlightRecorder(self, window=window)
+        else:
+            self.forensics.window = window
+        if layout is not None:
+            self.forensics.layout = layout
+        if memmap is not None:
+            self.forensics.memmap_provider = memmap
+        return self.forensics
+
+    def attach_metrics(self, registry=None):
+        """Attach a :class:`repro.trace.metrics.MetricsRegistry` (opts
+        the core out of the fast loop; cycle counts are unchanged)."""
+        from repro.trace.metrics import install_metrics
+        return install_metrics(self, registry)
+
+    def attach_debugger(self):
+        """Attach a :class:`repro.trace.debug.Debugger` for watchpoints
+        and PC breakpoints (opts the core out of the fast loop)."""
+        from repro.trace.debug import Debugger
+        if self.core.debug is None:
+            Debugger(self)
+        return self.core.debug
+
+    def record_fault(self, fault):
+        """Capture forensics for *fault* (idempotent) and count it.
+
+        The single funnel every propagating protection fault passes
+        through: ``Machine.call``/``run`` and the system harnesses
+        (:class:`~repro.umpu.system.UmpuSystem`, software runtime) all
+        route faults here, so a fault is reported exactly once no
+        matter how many layers re-raise it.  Returns *fault*.
+        """
+        if getattr(fault, "report", None) is not None:
+            return fault
+        metrics = self.core.metrics
+        if metrics is not None:
+            metrics.counter("protection_faults",
+                            code=getattr(fault, "code", "protection"),
+                            domain=getattr(fault, "domain", None)).inc()
+        if self.forensics is not None:
+            self.forensics.capture(fault)
+        return fault
 
     # ------------------------------------------------------------------
     def resolve(self, target):
@@ -117,14 +172,21 @@ class Machine:
         self.core.push_return_address(CALL_SENTINEL_WORD)
         self.core.pc = byte_addr // 2
         start = self.core.cycles
-        self.core.run(max_cycles=max_cycles, until_pc=CALL_SENTINEL_WORD)
+        try:
+            self.core.run(max_cycles=max_cycles,
+                          until_pc=CALL_SENTINEL_WORD)
+        except ProtectionFault as fault:
+            raise self.record_fault(fault)
         return self.core.cycles - start
 
     def run(self, entry=None, max_cycles=1_000_000):
         """Run from *entry* (default: current PC) until halt (`break`)."""
         if entry is not None:
             self.core.pc = self.resolve(entry) // 2
-        return self.core.run(max_cycles=max_cycles)
+        try:
+            return self.core.run(max_cycles=max_cycles)
+        except ProtectionFault as fault:
+            raise self.record_fault(fault)
 
     # --- memory inspection helpers ------------------------------------------
     def read_bytes(self, addr, n):

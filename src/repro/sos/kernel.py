@@ -40,11 +40,17 @@ from repro.sos.module import (
 
 @dataclass
 class FaultLog:
-    """Record of a contained protection fault."""
+    """Record of a contained protection fault.
+
+    ``report`` is the :class:`repro.trace.forensics.FaultReport`
+    attached to the fault, when a flight recorder captured one — the
+    kernel's recovery input and the exportable panic dump.
+    """
 
     module: str
     message: object
     fault: ProtectionFault
+    report: object = None
 
 
 class ModuleContext:
@@ -246,9 +252,16 @@ class SosKernel:
                 record.faults += 1
                 record.state = "crashed"
                 self.fault_log.append(
-                    FaultLog(record.module.name, message, fault))
+                    FaultLog(record.module.name, message, fault,
+                             report=getattr(fault, "report", None)))
                 if self.restart_crashed:
                     self.restart_module(record.module.name)
+
+    def fault_reports(self):
+        """Captured :class:`FaultReport` objects of all contained
+        faults (entries without forensics attached are skipped)."""
+        return [entry.report for entry in self.fault_log
+                if entry.report is not None]
 
     # --- devices ---------------------------------------------------------------
     def set_sensor_series(self, values):

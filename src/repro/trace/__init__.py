@@ -1,6 +1,6 @@
 """repro.trace — cycle-attributed observability for the simulator.
 
-Three pieces:
+Six pieces:
 
 * :class:`TraceSink` — a bounded ring buffer of typed events
   (instruction retirements, control transfers, IRQ entry/exit, domain
@@ -15,17 +15,46 @@ Three pieces:
   ``profiler.total() == core.cycles - profiler.start_cycle`` is exact.
 * Exporters — :func:`to_chrome_trace` / :func:`write_chrome_trace`
   (Chrome ``about://tracing`` JSON) and :func:`flat_report` (text).
+* :class:`FlightRecorder` / :class:`FaultReport` — fault forensics:
+  every propagating :class:`~repro.core.faults.ProtectionFault` gets a
+  structured panic dump (registers, annotated faulting address,
+  cross-domain call stack, disassembled instruction window).  Attach
+  with ``Machine.attach_forensics()``.
+* :class:`MetricsRegistry` — counters/gauges/histograms with zero
+  hot-path cost when detached.  Attach with :func:`install_metrics`.
+* :class:`Debugger` — data watchpoints and PC breakpoints; attaching
+  one moves the core off the fast loop (cycle counts unchanged).
 
-CLI: ``python -m repro.cli trace ...`` and ``python -m repro.cli
-profile ...``; see ``docs/observability.md``.
+CLI: ``python -m repro.cli trace|profile|explain-fault|metrics ...``;
+see ``docs/observability.md``.
 """
 
+from repro.trace.debug import (
+    BreakpointHit,
+    Debugger,
+    DebugStop,
+    Watchpoint,
+    WatchpointHit,
+)
 from repro.trace.events import TraceEvent, TraceEventKind, TraceSink
 from repro.trace.export import (
     domain_label,
     flat_report,
     to_chrome_trace,
     write_chrome_trace,
+)
+from repro.trace.forensics import (
+    RECENT_REPORTS,
+    FaultReport,
+    FlightRecorder,
+    dump_recent,
+)
+from repro.trace.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    install_metrics,
+    uninstall_metrics,
+    write_metrics,
 )
 from repro.trace.profiler import (
     CAT_APP,
@@ -52,6 +81,20 @@ __all__ = [
     "flat_report",
     "to_chrome_trace",
     "write_chrome_trace",
+    "FaultReport",
+    "FlightRecorder",
+    "RECENT_REPORTS",
+    "dump_recent",
+    "MetricsRegistry",
+    "METRICS_SCHEMA",
+    "install_metrics",
+    "uninstall_metrics",
+    "write_metrics",
+    "Debugger",
+    "DebugStop",
+    "BreakpointHit",
+    "WatchpointHit",
+    "Watchpoint",
     "install_tracing",
     "install_profiler",
     "uninstall",
@@ -87,8 +130,13 @@ def install_profiler(machine, runtime_region=None):
 
 
 def uninstall(machine):
-    """Detach any sink and profiler from *machine*."""
+    """Detach sink, profiler, metrics and debugger from *machine*
+    (restores fast-loop eligibility)."""
     machine.core.trace = None
     machine.bus.trace = None
     machine.core.profiler = None
     machine.bus.profiler = None
+    machine.core.metrics = None
+    machine.bus.metrics = None
+    if machine.core.debug is not None:
+        machine.core.debug.detach()

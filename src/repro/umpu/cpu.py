@@ -96,6 +96,9 @@ class UmpuMachine(Machine):
         self.memmap = MemoryMap(
             cfg, MemoryBackedStorage(self.memory, layout.memmap_table))
         self.safe_stack_unit.floor = layout.safe_stack_base
+        # forensics is capture-on-fault only (no hot-path cost), so a
+        # configured UMPU machine always produces fault reports
+        self.attach_forensics(layout=layout)
         return self
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.core.control_flow import JumpTable
 from repro.core.encoding import TRUSTED_DOMAIN
 from repro.core.faults import JumpTableFault
 from repro.trace.events import TraceEventKind
+from repro.trace.metrics import DEPTH_BUCKETS
 from repro.trace.profiler import CAT_SAFE_STACK
 
 #: Stall cycles of a cross-domain call / return (5-byte frame at one
@@ -99,6 +100,12 @@ class DomainTracker:
         profiler = getattr(core, "profiler", None)
         if profiler is not None:
             profiler.charge(CAT_SAFE_STACK, stall, domain=old_domain)
+        metrics = getattr(core, "metrics", None)
+        if metrics is not None:
+            metrics.counter("cross_domain_transfers", via=via).inc()
+            metrics.histogram("cross_domain_depth",
+                              buckets=DEPTH_BUCKETS).observe(
+                                  len(self.call_depths))
 
     def _on_call(self, core, target_byte):
         jt = self.jump_table()

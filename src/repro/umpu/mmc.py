@@ -118,6 +118,10 @@ class MemMapController(BusInterposer):
             if bus.profiler is not None:
                 bus.profiler.charge(CAT_MMC, MMC_STALL_CYCLES,
                                     domain=domain)
+            metrics = bus.metrics
+            if metrics is not None:
+                metrics.counter("mmc_stall_cycles").inc(MMC_STALL_CYCLES)
+                metrics.counter("mmc_checked_stores", domain=domain).inc()
             return _STALL_VERDICT
         if addr > regs.mem_prot_top:
             # the module's own stack window: the bound comparison above

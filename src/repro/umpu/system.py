@@ -11,9 +11,15 @@ module's code region with the tracker and publishing its exports.
 from dataclasses import dataclass
 
 from repro.core.encoding import TRUSTED_DOMAIN
-from repro.core.faults import OwnershipFault, ProtectionFault
+from repro.core.faults import ProtectionFault, fault_from_code
 from repro.core.memmap import MemoryBackedStorage, MemoryMap
-from repro.sfi.layout import FAULT_OWNERSHIP, SfiLayout
+from repro.sfi.layout import (
+    FAULT_NAMES,
+    FAULT_OWNERSHIP,
+    FAULT_SS_OVERFLOW,
+    FAULT_STACK_BOUND,
+    SfiLayout,
+)
 from repro.sfi.system import KERNEL_EXPORTS
 from repro.sos.linker import CrossDomainLinker
 from repro.core.control_flow import JumpTable
@@ -46,6 +52,10 @@ class UmpuSystem:
             ndomains=self.layout.ndomains)
         self.runtime = build_umpu_runtime(self.layout)
         self.machine = UmpuMachine(self.runtime, layout=self.hw_layout)
+        # the SfiLayout knows heap/safe-stack bounds and the trusted
+        # cells, so fault reports classify regions more precisely than
+        # the bare hardware layout would
+        self.machine.attach_forensics(layout=self.layout)
         self.jump_table = JumpTable(
             base=self.layout.jt_base,
             ndomains=self.layout.ndomains,
@@ -203,15 +213,35 @@ class UmpuSystem:
 
     # ------------------------------------------------------------------
     def _software_fault(self):
-        code = self.machine.memory.read_data(self.layout.fault_code)
+        """Map the library's numeric fault code back to the typed
+        exception via the stable ``code`` slugs — the same round-trip
+        the software-only system performs, so both paths raise identical
+        fault types for identical violations."""
+        mem = self.machine.memory
+        code = mem.read_data(self.layout.fault_code)
         if not code:
             return None
-        addr = self.machine.memory.read_word_data(self.layout.fault_addr)
+        addr = mem.read_word_data(self.layout.fault_addr)
+        slug = FAULT_NAMES.get(code)
+        if slug is None:
+            return ProtectionFault(
+                "unknown library fault code {}".format(code), addr=addr)
+        context = {}
         if code == FAULT_OWNERSHIP:
-            return OwnershipFault(addr, self.cur_domain, None,
-                                  "free/change_own")
-        return ProtectionFault("library fault code {}".format(code),
-                               addr=addr)
+            context["operation"] = "free/change_own"
+        elif code == FAULT_STACK_BOUND:
+            context["stack_bound"] = mem.read_word_data(
+                self.layout.stack_bound)
+        elif code == FAULT_SS_OVERFLOW:
+            context["ptr"] = mem.read_word_data(self.layout.ss_ptr)
+            context["limit"] = self.layout.safe_stack_limit
+        elif slug == "memmap" and self.layout.memmap_config.contains(addr):
+            try:
+                context["owner"] = self.memmap.owner_of(addr)
+            except Exception:
+                pass
+        return fault_from_code(slug, addr=addr, domain=self.cur_domain,
+                               **context)
 
     def clear_fault(self):
         self.machine.memory.write_data(self.layout.fault_code, 0)
@@ -232,7 +262,7 @@ class UmpuSystem:
         exc = self._software_fault()
         if exc is not None:
             self.clear_fault()
-            raise exc
+            raise self.machine.record_fault(exc)
         return cycles
 
     # ------------------------------------------------------------------
@@ -247,7 +277,10 @@ class UmpuSystem:
         machine.core.push_return_address(0xFFFE)
         machine.core.pc = self.runtime.symbol("hb_dispatch") // 2
         start = machine.core.cycles
-        machine.core.run(max_cycles=max_cycles, until_pc=0xFFFE)
+        try:
+            machine.core.run(max_cycles=max_cycles, until_pc=0xFFFE)
+        except ProtectionFault as fault:
+            raise machine.record_fault(fault)
         self._checked(0)
         return machine.result16(), machine.core.cycles - start
 

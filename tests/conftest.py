@@ -3,16 +3,40 @@
 Session-scoped where construction is expensive (the runtime assembles
 once); function-scoped machines are cheap because loading a Program is
 just a dict copy.
+
+When ``REPRO_FAULT_REPORT_DIR`` is set (CI does this), every test
+failure dumps the fault reports captured during that test as JSON files
+into the directory, so panic dumps travel with the CI artifacts.
 """
+
+import os
 
 import pytest
 
 from repro.asm import Assembler, assemble
+from repro.trace import forensics
 from repro.sfi.layout import SfiLayout
 from repro.sfi.runtime_asm import build_runtime
 from repro.sfi.system import SfiSystem
 from repro.sim import Machine
 from repro.umpu import HarborLayout, UmpuMachine
+
+
+@pytest.fixture(autouse=True)
+def _clear_recent_fault_reports():
+    """Each test sees only the fault reports it produced."""
+    forensics.RECENT_REPORTS.clear()
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    directory = os.environ.get("REPRO_FAULT_REPORT_DIR")
+    if (directory and report.when == "call" and report.failed
+            and forensics.RECENT_REPORTS):
+        forensics.dump_recent(directory, prefix=item.name)
 
 
 @pytest.fixture(scope="session")

@@ -1,12 +1,18 @@
 """Command-line tools."""
 
+import json
+
 import pytest
 
 from repro.cli import (
     cmd_asm,
     cmd_disasm,
+    cmd_explain_fault,
+    cmd_metrics,
+    cmd_profile,
     cmd_rewrite,
     cmd_run,
+    cmd_trace,
     cmd_verify,
     main,
 )
@@ -93,26 +99,108 @@ def test_rewrite_rejects_unsandboxable(tmp_path, capsys):
     assert "rewrite error" in capsys.readouterr().err
 
 
-def test_run_umpu_protection_fault(tmp_path, capsys):
-    src = tmp_path / "poke.s"
-    src.write_text("""
+FAULTING = """
 poke:
     ldi r26, 0x00
     ldi r27, 0x04
     ldi r18, 1
     st X, r18
     ret
-""")
+"""
+
+
+@pytest.fixture
+def fault_source(tmp_path):
+    path = tmp_path / "poke.s"
+    path.write_text(FAULTING)
+    return str(path)
+
+
+def test_run_umpu_protection_fault(fault_source, capsys):
     # domain 0 owns nothing: the store must fault under --umpu
-    assert cmd_run([str(src), "--entry", "poke", "--umpu",
+    assert cmd_run([fault_source, "--entry", "poke", "--umpu",
                     "--domain", "0"]) == 2
     assert "protection fault" in capsys.readouterr().out
     # and pass on the stock core
-    assert cmd_run([str(src), "--entry", "poke"]) == 0
+    assert cmd_run([fault_source, "--entry", "poke"]) == 0
+
+
+# ---------------------------------------------------------------------
+# observability subcommands (golden exit codes + output shapes)
+# ---------------------------------------------------------------------
+def test_trace_cli_exports_chrome_json(demo_source, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert cmd_trace([demo_source, "--entry", "work",
+                      "-o", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "events" in captured.err
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"], "exported trace must have events"
+
+
+def test_profile_cli_renders_attribution(demo_source, capsys):
+    assert cmd_profile([demo_source, "--entry", "work"]) == 0
+    captured = capsys.readouterr()
+    assert "TOTAL" in captured.out
+    assert "attribution balanced" in captured.err
+
+
+def test_explain_fault_renders_panic_dump(fault_source, capsys):
+    assert cmd_explain_fault([fault_source, "--entry", "poke",
+                              "--umpu", "--domain", "0"]) == 2
+    out = capsys.readouterr().out
+    assert "PROTECTION FAULT" in out
+    assert "faulting address" in out
+    assert "last instructions" in out
+
+
+def test_explain_fault_json_shape(fault_source, tmp_path, capsys):
+    out_file = tmp_path / "report.json"
+    assert cmd_explain_fault([fault_source, "--entry", "poke",
+                              "--umpu", "--domain", "0", "--json",
+                              "-o", str(out_file)]) == 2
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert doc["code"] == "memmap"
+    assert doc["fault_type"] == "MemMapFault"
+    assert doc["instr_window"]
+    assert doc["call_stack"]
+    assert json.loads(out_file.read_text()) == doc
+
+
+def test_explain_fault_without_fault_exits_zero(demo_source, capsys):
+    assert cmd_explain_fault([demo_source, "--entry", "work"]) == 0
+    assert "no protection fault" in capsys.readouterr().out
+
+
+def test_metrics_cli_text_and_json(demo_source, tmp_path, capsys):
+    assert cmd_metrics([demo_source, "--entry", "work"]) == 0
+    captured = capsys.readouterr()
+    assert "cycles" in captured.out
+    assert "metrics" in captured.err
+
+    out_file = tmp_path / "metrics.json"
+    assert cmd_metrics([demo_source, "--entry", "work", "--json",
+                        "-o", str(out_file)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert {"counters", "gauges", "histograms"} <= set(doc)
+    assert json.loads(out_file.read_text()) == doc
+
+
+def test_metrics_cli_faulting_run_exits_two(fault_source, capsys):
+    assert cmd_metrics([fault_source, "--entry", "poke", "--umpu",
+                        "--domain", "0"]) == 2
+    captured = capsys.readouterr()
+    assert "protection fault" in captured.err
+    # the fault itself lands in the registry output
+    assert "protection_faults" in captured.out
 
 
 def test_main_multiplexer(demo_source, capsys):
     assert main(["run", demo_source, "--entry", "work"]) == 0
+    capsys.readouterr()
+    assert main(["metrics", demo_source, "--entry", "work"]) == 0
     capsys.readouterr()
     assert main([]) == 64
     assert main(["bogus"]) == 64

@@ -183,6 +183,98 @@ def test_path_selection():
     m2.run()
 
 
+def test_debugger_and_metrics_force_instrumented_path():
+    """Attaching a debugger or a metrics registry must move the core off
+    the fast loop (their hooks only exist on the step() path)."""
+    src = generate_program(41, n_blocks=10)
+
+    m = Machine(assemble(src))
+    m.attach_debugger()
+    m.core._run_fast = lambda *a: pytest.fail(
+        "debugger-attached run must not take the fast loop")
+    m.run()
+
+    m2 = Machine(assemble(src))
+    m2.attach_metrics()
+    m2.core._run_fast = lambda *a: pytest.fail(
+        "metrics-attached run must not take the fast loop")
+    m2.run()
+
+
+def test_debugger_and_metrics_preserve_architectural_state():
+    """Watchpoints and metrics observe without perturbing: the
+    instrumented run is cycle-for-cycle identical to the fast run."""
+    src = generate_program(43)
+
+    fast = Machine(assemble(src))
+    fast.run()
+
+    observed = Machine(assemble(src))
+    debugger = observed.attach_debugger()
+    watch = debugger.watch(SCRATCH, SCRATCH + 0x1FF, on_read=True)
+    observed.attach_metrics()
+    observed.run()
+
+    assert_states_identical(fast, observed)
+    assert watch.hits, "fuzzed program must touch the scratch window"
+
+
+FAULT_SRC = """
+entry:
+    ldi r18, 0x55
+    sts 0x0700, r18
+    ldi r19, 1
+    break
+"""
+
+
+def _umpu_fault_machine(instrumented):
+    from repro.umpu import HarborLayout, UmpuMachine
+    layout = HarborLayout()
+    machine = UmpuMachine(assemble(FAULT_SRC, "flt"), layout=layout)
+    machine.memmap.set_segment(0x0700, 8, 1)  # foreign block: store faults
+    machine.tracker.register_code_region(0, 0, layout.jt_base)
+    if instrumented:
+        machine.attach_trace()
+        machine.attach_profiler()
+    machine.enter_domain(0)
+    return machine
+
+
+def test_fault_propagation_identical_on_both_paths():
+    """A protection fault raised inside _run_fast must leave the same
+    consistent, resumable state as the instrumented step() path."""
+    from repro.core.faults import MemMapFault
+
+    fast = _umpu_fault_machine(instrumented=False)
+    took_fast = []
+    original = fast.core._run_fast
+    fast.core._run_fast = lambda *a: took_fast.append(a) or original(*a)
+    slow = _umpu_fault_machine(instrumented=True)
+
+    for machine in (fast, slow):
+        with pytest.raises(MemMapFault):
+            machine.call("entry")
+    assert took_fast, "uninstrumented faulting run must use the fast loop"
+
+    assert fast.core.cycles == slow.core.cycles
+    assert fast.core.instret == slow.core.instret
+    assert fast.core.pc == slow.core.pc
+    assert fast.core.memory.sreg == slow.core.memory.sreg
+    assert bytes(fast.core.memory.data) == bytes(slow.core.memory.data)
+    # the vetoed store never landed
+    assert fast.core.memory.read_data(0x0700) == 0
+
+    # both machines are resumable past the fault and stay in lockstep
+    for machine in (fast, slow):
+        machine.run(max_cycles=1000)
+    assert fast.core.halted and slow.core.halted
+    assert fast.core.reg(19) == 1 and slow.core.reg(19) == 1
+    assert fast.core.cycles == slow.core.cycles
+    assert fast.core.instret == slow.core.instret
+    assert bytes(fast.core.memory.data) == bytes(slow.core.memory.data)
+
+
 def test_until_pc_and_cycle_budget_match():
     """Stop conditions agree between the paths (until_pc, budgets)."""
     src = generate_program(7)

@@ -1,0 +1,198 @@
+"""The metrics registry: counters, gauges, histograms and the
+machine-level instrumentation that feeds them.
+
+The registry follows the tracing discipline — every emission site is a
+single ``is not None`` guard, so a detached machine pays nothing — and
+attaching it never changes simulated cycle counts (verified in
+tests/test_fastpath_differential.py).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.microbench import build_umpu_bench
+from repro.asm import assemble
+from repro.core.faults import MemMapFault
+from repro.sim import InterruptController, Machine
+from repro.sim.devices import PeriodicTimer
+from repro.trace.metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    install_metrics,
+    uninstall_metrics,
+    write_metrics,
+)
+from repro.umpu import HarborLayout, UmpuMachine
+from repro.umpu.mmc import MMC_STALL_CYCLES
+
+
+# ---------------------------------------------------------------------
+# registry mechanics
+# ---------------------------------------------------------------------
+def test_counter_accumulates_and_is_memoized():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc()
+    registry.counter("hits").inc(4)
+    assert registry.counter("hits").value == 5
+    # different labels -> different series
+    registry.counter("hits", domain=1).inc()
+    assert registry.counter("hits", domain=1).value == 1
+    assert registry.counter("hits").value == 5
+    assert len(registry) == 2
+
+
+def test_gauge_sets_point_in_time_value():
+    registry = MetricsRegistry()
+    registry.gauge("depth").set(3)
+    registry.gauge("depth").set(7)
+    assert registry.gauge("depth").value == 7
+
+
+def test_histogram_bucket_boundaries():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(4, 8, 16))
+    for value in (1, 4, 5, 16, 17, 1000):
+        hist.observe(value)
+    assert hist.counts == [2, 1, 1, 2]       # <=4, <=8, <=16, overflow
+    assert hist.count == 6
+    assert hist.sum == 1 + 4 + 5 + 16 + 17 + 1000
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("bad", buckets=(8, 4))
+    # empty bounds fall back to the default depth buckets
+    hist = MetricsRegistry().histogram("empty", buckets=())
+    assert hist.buckets == DEPTH_BUCKETS
+
+
+def test_to_dict_schema_and_render(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("faults", code="memmap").inc(2)
+    registry.gauge("cycles").set(100)
+    registry.histogram("depth", buckets=DEPTH_BUCKETS).observe(3)
+    doc = registry.to_dict()
+    assert doc["schema"] == METRICS_SCHEMA
+    assert doc["counters"] == [{"name": "faults",
+                                "labels": {"code": "memmap"}, "value": 2}]
+    assert doc["gauges"][0]["value"] == 100
+    hist = doc["histograms"][0]
+    assert len(hist["counts"]) == len(hist["buckets"]) + 1
+    assert hist["count"] == 1
+    text = registry.render()
+    assert "faults{code=memmap}" in text
+    assert "count=1" in text
+    path = write_metrics(str(tmp_path / "m.json"), registry)
+    assert json.loads(open(path).read()) == json.loads(json.dumps(doc))
+
+
+def test_empty_registry_renders_placeholder():
+    assert MetricsRegistry().render() == "(no metrics recorded)"
+
+
+# ---------------------------------------------------------------------
+# machine-level instrumentation
+# ---------------------------------------------------------------------
+def _run_bench_workload(machine, iterations=4):
+    for _ in range(iterations):
+        machine.enter_domain(0)
+        machine.call("store_fn")
+        machine.enter_trusted()
+        machine.call("xcall_fn")
+
+
+def test_umpu_workload_populates_registry():
+    machine, _probe, _jt = build_umpu_bench()
+    registry = machine.attach_metrics()
+    _run_bench_workload(machine)
+    registry.sample(machine)
+
+    stall = registry.counter("mmc_stall_cycles")
+    assert stall.value == MMC_STALL_CYCLES * machine.mmc.checked_stores
+    checked = registry.counter("mmc_checked_stores", domain=0)
+    assert checked.value == machine.mmc.checked_stores
+
+    calls = registry.counter("cross_domain_transfers", via="call")
+    rets = registry.counter("cross_domain_transfers", via="ret")
+    assert calls.value == machine.tracker.cross_calls
+    assert rets.value == machine.tracker.cross_returns
+    depth = registry.histogram("cross_domain_depth")
+    assert depth.count == calls.value + rets.value  # observed per switch
+
+    assert registry.gauge("cycles").value == machine.core.cycles
+    assert registry.gauge("instructions").value == machine.core.instret
+    assert registry.gauge("mmc_checked_stores").value \
+        == machine.mmc.checked_stores
+
+
+def test_irq_entry_latency_histogram():
+    src = """
+        jmp main
+        jmp handler
+    main:
+        sei
+    spin:
+        inc r20
+        cpi r20, 60
+        brne spin
+        break
+    handler:
+        inc r16
+        reti
+    """
+    machine = UmpuMachine(assemble(src, "irq"), layout=HarborLayout())
+    controller = InterruptController(machine.core, nvectors=4,
+                                     vector_stride_words=2)
+    PeriodicTimer(controller, line=1, period=25).install(machine.core)
+    registry = machine.attach_metrics()
+    machine.run(max_cycles=100000)
+    assert controller.taken > 0
+    latency = registry.histogram("irq_entry_latency",
+                                 buckets=LATENCY_BUCKETS, line=1)
+    assert latency.count == controller.taken
+    assert latency.sum >= 0
+
+
+def test_protection_fault_counter_labelled_by_code_and_domain():
+    layout = HarborLayout()
+    src = """
+    poke:
+        ldi r26, 0x00
+        ldi r27, 0x04
+        ldi r18, 1
+        st X, r18
+        ret
+    """
+    machine = UmpuMachine(assemble(src, "poke"), layout=layout)
+    machine.memmap.set_segment(0x0400, 8, 1)
+    machine.tracker.register_code_region(0, 0, layout.jt_base)
+    registry = machine.attach_metrics()
+    machine.enter_domain(0)
+    with pytest.raises(MemMapFault):
+        machine.call("poke")
+    counter = registry.counter("protection_faults", code="memmap", domain=0)
+    assert counter.value == 1
+
+
+def test_install_and_uninstall_toggle_attachment():
+    machine = Machine(assemble("    break\n", "noop"))
+    assert machine.core.metrics is None and machine.bus.metrics is None
+    registry = install_metrics(machine)
+    assert machine.core.metrics is registry
+    assert machine.bus.metrics is registry
+    uninstall_metrics(machine)
+    assert machine.core.metrics is None and machine.bus.metrics is None
+
+
+def test_sample_on_plain_machine_sets_core_gauges_only():
+    machine = Machine(assemble("    break\n", "noop"))
+    machine.run()
+    registry = MetricsRegistry().sample(machine)
+    assert registry.gauge("cycles").value == machine.core.cycles
+    doc = registry.to_dict()
+    gauge_names = {g["name"] for g in doc["gauges"]}
+    assert "mmc_checked_stores" not in gauge_names
+    assert "cross_domain_nesting" not in gauge_names

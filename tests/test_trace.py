@@ -79,6 +79,35 @@ def test_sink_rejects_bad_capacity():
         TraceSink(capacity=0)
 
 
+def test_wraparound_semantics_survive_export():
+    """After the ring wraps, exporters must see exactly the retained
+    window, oldest first, with consistent emitted/dropped accounting."""
+    sink = TraceSink(capacity=8)
+    for i in range(20):
+        sink.emit(i + 1, TraceEventKind.INSTR_RETIRE, pc=2 * i,
+                  key="nop", cycles=1)
+    assert sink.emitted == 20
+    assert sink.dropped == 12
+    assert len(sink) == 8
+    # the retained window is the most recent events, oldest first
+    assert [e.cycle for e in sink] == list(range(13, 21))
+    assert [e.cycle for e in sink.of(TraceEventKind.INSTR_RETIRE)] \
+        == list(range(13, 21))
+    assert sink.counts()[TraceEventKind.INSTR_RETIRE] == 8
+
+    doc = to_chrome_trace(sink)
+    slices = [e for e in doc["traceEvents"]
+              if e["ph"] == "X" and e["cat"] == "instr"]
+    assert len(slices) == 8
+    timestamps = [e["ts"] for e in slices]
+    assert timestamps == sorted(timestamps)
+    assert timestamps[0] == 12  # cycle 13, 1-cycle duration
+
+    from repro.trace import DomainProfiler
+    report = flat_report(DomainProfiler(), sink)
+    assert "20 emitted, 8 retained, 12 dropped" in report
+
+
 # ---------------------------------------------------------------------
 # Tracing is observational: cycles are byte-identical either way
 # ---------------------------------------------------------------------
