@@ -1,0 +1,29 @@
+; A well-behaved sensor module: reads a sample, stores it into its own
+; heap buffer through the (rewriter-inserted) check stubs and reports
+; through the kernel's noop service.  Loaded through the normal
+; rewrite -> verify pipeline, it must lint clean:
+;
+;   python -m repro.cli lint examples/modules/clean_sensor.s
+;
+; The KERNEL_NOOP symbol is the trusted domain's jump-table entry for
+; the kernel noop service; harbor-lint predefines it (and the other
+; KERNEL_* entries) when assembling module arguments.
+
+sample:
+    ldi r26, 0x40          ; X -> this domain's buffer (heap block)
+    ldi r27, 0x06
+    ldi r24, 0x2A
+    st X+, r24             ; rewritten into a checked store
+    st X, r24
+    call tally
+    ret
+
+tally:
+    lds r24, 0x0640
+    inc r24
+    sts 0x0641, r24        ; rewritten into hb_st_sts
+    ret
+
+report:
+    call KERNEL_NOOP       ; cross-domain call into the kernel's page
+    ret

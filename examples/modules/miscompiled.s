@@ -1,0 +1,20 @@
+; A deliberately miscompiled module: what a buggy (or malicious)
+; compiler/rewriter would hand the node.  The loader's verifier rejects
+; it; harbor-lint in --unchecked mode places the raw image and reports
+; every violation with its stable rule code:
+;
+;   python -m repro.cli lint --unchecked examples/modules/miscompiled.s
+;
+; Expected findings:
+;   HL001  raw store not routed through a check stub (st X+ below)
+;   HL002  direct call into the jump table (0x1000 is the jump-table
+;          base, domain 0's page) bypassing hb_xdom_call
+;   HL003  ret not preceded by call hb_restore_ret
+
+broken:
+    ldi r26, 0x00          ; X -> 0x0C00: the safe-stack region
+    ldi r27, 0x0C
+    ldi r24, 0x55
+    st X+, r24             ; HL001: unchecked store
+    call 0x1000            ; HL002: direct jump-table call
+    ret                    ; HL003: no restore stub

@@ -1,0 +1,42 @@
+"""Whole-image static analyzer: CFG + abstract interpretation over
+disassembled flash, protection verification, safe-stack bounds,
+overhead estimation and dead-code detection, reported through a
+stable-rule-code diagnostics engine (``harbor-lint``).
+
+See ``docs/static-analysis.md`` for the architecture and rule catalog.
+"""
+
+from repro.analysis.static.analyses import (
+    ImageAnalyzer,
+    ImageReport,
+    StackBoundReport,
+    analyze_image,
+    lint_system,
+)
+from repro.analysis.static.cfg import RegionCFG
+from repro.analysis.static.diagnostics import (
+    RULES,
+    Diagnostic,
+    DiagnosticsEngine,
+    Rule,
+    rule,
+    write_report,
+)
+from repro.analysis.static.image import ImageModel, ModuleRegion
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticsEngine",
+    "ImageAnalyzer",
+    "ImageModel",
+    "ImageReport",
+    "ModuleRegion",
+    "RegionCFG",
+    "RULES",
+    "Rule",
+    "StackBoundReport",
+    "analyze_image",
+    "lint_system",
+    "rule",
+    "write_report",
+]

@@ -1,0 +1,311 @@
+"""Register-constancy abstract interpretation over a :class:`RegionCFG`.
+
+A deliberately small abstract domain — per 8-bit register either a
+known constant, an interval, or unknown (top) — propagated to a
+fixpoint over the block graph.  That is exactly enough for the two
+questions the whole-image analyzer asks:
+
+* what is **Z** when control reaches ``call hb_xdom_call`` / ``icall`` /
+  ``ijmp``?  The rewriter materializes jump-table entries with an
+  ``ldi r30 / ldi r31`` pair, so the pair is constant at the call and
+  the callee *domain* falls out of the jump-table geometry.
+* what do **X/Y/Z** point at when a raw store executes?  A constant or
+  narrow interval classifies the target against the
+  :class:`~repro.sfi.layout.SfiLayout` regions (trusted cells, memory
+  map table, heap, safe stack, run-time stack).
+
+Abstract values are plain Python: ``None`` is top, an ``int`` is a
+constant, an ``(lo, hi)`` tuple is an inclusive interval.  States are
+dicts ``register -> value`` with absent registers top, so the per-block
+state a fixpoint carries is a handful of entries — the analyzer's
+memory stays near the verifier's "constant state" point (measured in
+``benchmarks/bench_verifier_space.py``).
+"""
+
+TOP = None
+
+#: widen an interval beyond this many values straight to top — keeps the
+#: fixpoint short and the state small (precision beyond this range never
+#: changes a classification).
+MAX_INTERVAL = 4096
+
+#: registers an AVR callee may clobber (avr-gcc ABI call-clobbered set);
+#: joined to top across call instructions.
+CALL_CLOBBERED = (0, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 30, 31)
+
+
+def _as_range(val):
+    if isinstance(val, int):
+        return val, val
+    return val
+
+
+def join_value(a, b):
+    """Least upper bound of two abstract values."""
+    if a is TOP or b is TOP:
+        return TOP
+    if a == b:
+        return a
+    alo, ahi = _as_range(a)
+    blo, bhi = _as_range(b)
+    lo, hi = min(alo, blo), max(ahi, bhi)
+    if hi - lo + 1 > MAX_INTERVAL:
+        return TOP
+    return (lo, hi)
+
+
+def join_state(a, b):
+    """Join two states; only registers known in both survive."""
+    out = {}
+    for reg, val in a.items():
+        if reg in b:
+            joined = join_value(val, b[reg])
+            if joined is not TOP:
+                out[reg] = joined
+    return out
+
+
+def get_pair(state, lo_reg):
+    """16-bit value of the (lo_reg, lo_reg+1) pair, or TOP/interval."""
+    lo = state.get(lo_reg)
+    hi = state.get(lo_reg + 1)
+    if lo is TOP or hi is TOP:
+        return TOP
+    if isinstance(lo, int) and isinstance(hi, int):
+        return (hi << 8) | lo
+    llo, lhi = _as_range(lo)
+    hlo, hhi = _as_range(hi)
+    pair = ((hlo << 8) | llo, (hhi << 8) | lhi)
+    if pair[1] - pair[0] + 1 > MAX_INTERVAL:
+        return TOP
+    return pair
+
+
+def set_pair(state, lo_reg, value):
+    if value is TOP:
+        state.pop(lo_reg, None)
+        state.pop(lo_reg + 1, None)
+        return
+    if isinstance(value, int):
+        state[lo_reg] = value & 0xFF
+        state[lo_reg + 1] = (value >> 8) & 0xFF
+        return
+    lo, hi = value
+    if (lo >> 8) == (hi >> 8):     # high byte constant across the range
+        state[lo_reg + 1] = (lo >> 8) & 0xFF
+        state[lo_reg] = (lo & 0xFF, hi & 0xFF)
+    else:
+        state.pop(lo_reg, None)
+        state.pop(lo_reg + 1, None)
+
+
+def _set(state, reg, value):
+    if value is TOP:
+        state.pop(reg, None)
+    else:
+        state[reg] = value
+
+
+def _const_byte_op(state, d, k, fn):
+    val = state.get(d)
+    if isinstance(val, int):
+        _set(state, d, fn(val, k) & 0xFF)
+    else:
+        _set(state, d, TOP)
+
+
+def transfer(state, line):
+    """Apply one instruction to *state* in place.
+
+    Sound over-approximation: anything not modeled sets its destination
+    to top; memory is not modeled at all (loads always produce top).
+    """
+    instr = line.instr
+    if instr is None:
+        return state
+    key = instr.key
+    kind = instr.spec.kind
+    ops = instr.operands
+    if key == "ldi":
+        state[ops[0]] = ops[1]
+    elif key == "mov":
+        _set(state, ops[0], state.get(ops[1], TOP))
+    elif key == "movw":
+        set_pair(state, ops[0], get_pair(state, ops[1]))
+    elif key in ("eor", "sub") and ops[0] == ops[1]:
+        state[ops[0]] = 0   # clr idiom: eor/sub d,d always zeroes d
+    elif key in ("add", "adc", "and", "or", "eor", "sub", "sbc"):
+        a, b = state.get(ops[0]), state.get(ops[1])
+        if isinstance(a, int) and isinstance(b, int) and \
+                key in ("add", "and", "or", "eor", "sub"):
+            fn = {"add": lambda x, y: x + y,
+                  "and": lambda x, y: x & y,
+                  "or": lambda x, y: x | y,
+                  "eor": lambda x, y: x ^ y,
+                  "sub": lambda x, y: x - y}[key]
+            state[ops[0]] = fn(a, b) & 0xFF
+        else:
+            _set(state, ops[0], TOP)
+    elif key in ("subi", "andi", "ori"):
+        fn = {"subi": lambda x, k: x - k,
+              "andi": lambda x, k: x & k,
+              "ori": lambda x, k: x | k}[key]
+        _const_byte_op(state, ops[0], ops[1], fn)
+    elif key == "sbci":
+        # carry not modeled: constant only if the preceding subi did not
+        # borrow is unknowable here, so the result is top unless K == 0
+        # and the register is already constant with no borrow possible —
+        # keep it simple and sound: top.
+        _set(state, ops[0], TOP)
+    elif key == "inc":
+        _const_byte_op(state, ops[0], 0, lambda x, _k: x + 1)
+    elif key == "dec":
+        _const_byte_op(state, ops[0], 0, lambda x, _k: x - 1)
+    elif key in ("com", "neg", "swap", "asr", "lsr", "ror", "bld"):
+        _set(state, ops[0], TOP)
+    elif key in ("adiw", "sbiw"):
+        pair = get_pair(state, ops[0])
+        if isinstance(pair, int):
+            delta = ops[1] if key == "adiw" else -ops[1]
+            set_pair(state, ops[0], (pair + delta) & 0xFFFF)
+        else:
+            set_pair(state, ops[0], TOP)
+    elif kind == "load" or key in ("lds", "in", "pop"):
+        if ops:
+            _set(state, ops[0], TOP)
+        else:
+            state.pop(0, None)   # lpm/elpm r0 forms
+        if key in ("lpm_zp", "elpm_zp"):
+            set_pair(state, 30, TOP)
+        _ptr_side_effect(state, instr)
+    elif kind == "store":
+        _ptr_side_effect(state, instr)
+    elif kind == "call":
+        for reg in CALL_CLOBBERED:
+            state.pop(reg, None)
+    # everything else (cp/cpi/cpc, push, out, sbi/cbi, branches, nop,
+    # flag ops) leaves the register state unchanged
+    return state
+
+
+def _ptr_side_effect(state, instr):
+    """Post-increment / pre-decrement of the pointer pair."""
+    modes = instr.spec.modes
+    ptr = modes.get("ptr")
+    if ptr is None:
+        return
+    lo_reg = {"X": 26, "Y": 28, "Z": 30}[ptr]
+    if modes.get("post_inc"):
+        pair = get_pair(state, lo_reg)
+        set_pair(state, lo_reg,
+                 (pair + 1) & 0xFFFF if isinstance(pair, int) else TOP)
+    elif modes.get("pre_dec"):
+        pair = get_pair(state, lo_reg)
+        set_pair(state, lo_reg,
+                 (pair - 1) & 0xFFFF if isinstance(pair, int) else TOP)
+
+
+# =====================================================================
+# Fixpoint over a RegionCFG
+# =====================================================================
+def analyze_cfg(cfg, entry_states=None):
+    """Run the fixpoint; returns ``{block_start: in_state}``.
+
+    *entry_states* maps block starts to their boundary state (defaults
+    to top — an empty dict — at every declared entry).  Blocks reached
+    both by fallthrough and by branches get the join.  Function entries
+    reached by calls start at top (the caller's registers are not the
+    callee's contract — except that this also keeps the analysis sound
+    without an interprocedural pass).
+    """
+    in_states = {addr: None for addr in cfg.blocks}
+    worklist = []
+    for addr in sorted(cfg.blocks):
+        base = (entry_states or {}).get(addr)
+        if base is not None or addr == cfg.start:
+            in_states[addr] = dict(base or {})
+            worklist.append(addr)
+    if not worklist:     # nothing declared: seed every block at top
+        for addr in sorted(cfg.blocks):
+            in_states[addr] = {}
+            worklist.append(addr)
+    # call targets are entered with top state (callers vary)
+    call_targets = {site.target for site in cfg.calls
+                    if site.target in cfg.blocks}
+    for addr in sorted(call_targets):
+        in_states[addr] = {}
+        if addr not in worklist:
+            worklist.append(addr)
+
+    iterations = 0
+    limit = max(64, 16 * len(cfg.blocks))
+    while worklist:
+        iterations += 1
+        addr = worklist.pop(0)
+        state = in_states.get(addr)
+        if state is None:
+            continue
+        out = dict(state)
+        for line in cfg.blocks[addr].lines:
+            transfer(out, line)
+        for succ in cfg.blocks[addr].succs:
+            if succ in call_targets:
+                continue   # entered at top already
+            prev = in_states.get(succ)
+            joined = out if prev is None else join_state(prev, out)
+            if prev is None or joined != prev:
+                in_states[succ] = dict(joined)
+                if succ not in worklist:
+                    worklist.append(succ)
+        if iterations > limit:
+            # pathological join chain: give up soundly — everything top
+            return {addr: {} for addr in cfg.blocks}
+    return {addr: state for addr, state in in_states.items()
+            if state is not None}
+
+
+def state_at(cfg, in_states, byte_addr):
+    """Abstract state immediately **before** the instruction at
+    *byte_addr* (replays the containing block's prefix)."""
+    block = cfg.block_of(byte_addr)
+    if block is None or block.start not in in_states:
+        return {}
+    state = dict(in_states[block.start])
+    for line in block.lines:
+        if line.byte_addr == byte_addr:
+            return state
+        transfer(state, line)
+    return {}
+
+
+# =====================================================================
+# Store-target classification against the layout
+# =====================================================================
+def classify_data_address(layout, value):
+    """Classify an abstract data address against the SfiLayout regions.
+
+    Returns a region label, or ``"unknown"`` for top / region-straddling
+    intervals.
+    """
+    if value is TOP:
+        return "unknown"
+    lo, hi = _as_range(value)
+
+    def region_of(addr):
+        if addr < 0x60:
+            return "registers/io"
+        if layout.memmap_table <= addr < layout.memmap_table + \
+                layout.memmap_config.table_bytes:
+            return "memmap-table"
+        if addr < layout.prot_bottom:
+            return "trusted-globals"
+        if layout.heap_start <= addr < layout.heap_end:
+            return "heap"
+        if layout.safe_stack_base <= addr < layout.safe_stack_limit:
+            return "safe-stack"
+        if addr <= layout.prot_top:
+            return "protected-region"
+        return "runtime-stack"
+
+    first = region_of(lo)
+    return first if region_of(hi) == first else "unknown"

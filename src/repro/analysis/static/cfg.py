@@ -1,0 +1,415 @@
+"""Basic-block CFG construction over disassembled flash regions.
+
+A :class:`RegionCFG` is built per code region (the runtime, each loaded
+module) by a linear decode — the same walk the on-node verifier does —
+followed by the classic leaders/blocks split.  Unlike the verifier's
+constant-state scan the CFG keeps per-block structure, which is what
+lets the analyses answer *path* questions: can a ``ret`` be reached
+without passing the restore stub, what is the deepest call chain, which
+blocks are unreachable.
+
+Calls do **not** terminate blocks (they return); each ``call``/``rcall``
+/``icall`` becomes a :class:`CallSite` record attached to the walk, from
+which :func:`build_call_graph` derives the function-level graph used by
+the depth/occupancy analysis.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.asm.disassembler import disassemble_flash
+
+#: keys that transfer control without returning
+JUMP_KEYS = frozenset({"jmp", "rjmp"})
+BRANCH_KEYS = frozenset({"brbs", "brbc"})
+CALL_KEYS = frozenset({"call", "rcall"})
+RET_KEYS = frozenset({"ret", "reti"})
+SKIP_KINDS = frozenset({"skip"})
+
+
+def static_target(line):
+    """Resolve the static byte target of a call/jump/branch line."""
+    instr = line.instr
+    key = instr.key
+    if key in ("rcall", "rjmp"):
+        return line.byte_addr + 2 + 2 * instr.operands[0]
+    if key in ("call", "jmp"):
+        return instr.operands[0] * 2
+    if key in BRANCH_KEYS:
+        return line.byte_addr + 2 + 2 * instr.operands[-1]
+    raise ValueError("no static target for {!r}".format(key))
+
+
+@dataclass
+class CallSite:
+    """One call instruction inside a region."""
+
+    byte_addr: int
+    key: str            # "call" | "rcall" | "icall"
+    target: int = None  # byte address; None for icall (absint may fill it)
+    block: int = None   # start address of the containing block
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    start: int
+    lines: list = field(default_factory=list)
+    succs: list = field(default_factory=list)    # internal block starts
+    exits: list = field(default_factory=list)    # (kind, target) external
+    terminator: str = "fall"  # fall|jump|branch|skip|ret|ijmp|icall-end
+
+    @property
+    def end(self):
+        last = self.lines[-1]
+        return last.byte_addr + 2 * len(last.words)
+
+    def __iter__(self):
+        return iter(self.lines)
+
+
+class RegionCFG:
+    """CFG of one contiguous code region ``[start, end)``."""
+
+    def __init__(self, name, start, end):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.lines = []
+        self.blocks = {}         # start byte addr -> BasicBlock
+        self.boundaries = set()  # instruction-start byte addresses
+        self.calls = []          # CallSite list (static + indirect)
+        self.indirect_jumps = []  # byte addrs of ijmp
+        self.undecodable = []    # byte addrs of .dw words
+        self.bad_targets = []    # (target, from_addr) not on a boundary
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, read_word, start, end, name="region",
+              extra_leaders=()):
+        """Disassemble ``[start, end)`` through *read_word* and build the
+        CFG.  *extra_leaders* (export/entry byte addresses) force block
+        starts even when nothing in the region branches there."""
+        cfg = cls(name, start, end)
+        cfg.lines = disassemble_flash(read_word, start // 2,
+                                      (end - start) // 2)
+        index_of = {}
+        for i, line in enumerate(cfg.lines):
+            cfg.boundaries.add(line.byte_addr)
+            index_of[line.byte_addr] = i
+            if line.instr is None:
+                cfg.undecodable.append(line.byte_addr)
+
+        def internal(target):
+            return start <= target < end
+
+        # --- pass 1: leaders -----------------------------------------
+        leaders = {start}
+        for addr in extra_leaders:
+            if internal(addr):
+                leaders.add(addr)
+        for i, line in enumerate(cfg.lines):
+            if line.instr is None:
+                continue
+            key = line.instr.key
+            kind = line.instr.spec.kind
+            after = line.byte_addr + 2 * len(line.words)
+            if key in JUMP_KEYS or key in BRANCH_KEYS:
+                target = static_target(line)
+                if internal(target):
+                    if target in cfg.boundaries:
+                        leaders.add(target)
+                    else:
+                        cfg.bad_targets.append((target, line.byte_addr))
+                leaders.add(after)
+            elif key in CALL_KEYS:
+                target = static_target(line)
+                if internal(target):
+                    if target in cfg.boundaries:
+                        leaders.add(target)  # function entry
+                    else:
+                        cfg.bad_targets.append((target, line.byte_addr))
+            elif key in RET_KEYS or key == "ijmp":
+                leaders.add(after)
+            elif kind in SKIP_KINDS:
+                # the skipped-over successor starts a (tiny) block
+                if i + 1 < len(cfg.lines):
+                    nxt = cfg.lines[i + 1]
+                    leaders.add(nxt.byte_addr +
+                                2 * len(nxt.words))
+        leaders = {a for a in leaders if a in cfg.boundaries}
+
+        # --- pass 2: blocks and edges --------------------------------
+        block = None
+        for i, line in enumerate(cfg.lines):
+            if block is None or line.byte_addr in leaders:
+                if block is not None:
+                    # fallthrough into the new leader
+                    block.succs.append(line.byte_addr)
+                block = BasicBlock(start=line.byte_addr)
+                cfg.blocks[line.byte_addr] = block
+            block.lines.append(line)
+            if line.instr is None:
+                continue
+            key = line.instr.key
+            kind = line.instr.spec.kind
+            after = line.byte_addr + 2 * len(line.words)
+
+            def close(terminator):
+                block.terminator = terminator
+
+            if key in CALL_KEYS or key == "icall":
+                target = None
+                if key != "icall":
+                    target = static_target(line)
+                cfg.calls.append(CallSite(line.byte_addr, key,
+                                          target=target,
+                                          block=block.start))
+            if key in JUMP_KEYS:
+                target = static_target(line)
+                if internal(target) and target in cfg.boundaries:
+                    block.succs.append(target)
+                elif internal(target):
+                    pass  # already in bad_targets
+                else:
+                    block.exits.append(("jump", target))
+                close("jump")
+                block = None
+            elif key in BRANCH_KEYS:
+                target = static_target(line)
+                if internal(target) and target in cfg.boundaries:
+                    block.succs.append(target)
+                elif not internal(target):
+                    block.exits.append(("branch", target))
+                if after < end:
+                    block.succs.append(after)
+                close("branch")
+                block = None
+            elif kind in SKIP_KINDS:
+                if i + 1 < len(cfg.lines):
+                    nxt = cfg.lines[i + 1]
+                    skip_to = nxt.byte_addr + 2 * len(nxt.words)
+                    if skip_to < end and skip_to in cfg.boundaries:
+                        block.succs.append(skip_to)
+                    block.succs.append(nxt.byte_addr)
+                close("skip")
+                block = None
+            elif key in RET_KEYS:
+                close("ret")
+                block = None
+            elif key == "ijmp":
+                cfg.indirect_jumps.append(line.byte_addr)
+                close("ijmp")
+                block = None
+        # de-duplicate successor lists (branch-to-fallthrough etc.)
+        for blk in cfg.blocks.values():
+            seen = set()
+            blk.succs = [s for s in blk.succs
+                         if not (s in seen or seen.add(s))]
+        return cfg
+
+    # ------------------------------------------------------------------
+    def block_of(self, byte_addr):
+        """The block containing *byte_addr* (by start-address floor)."""
+        starts = sorted(self.blocks)
+        lo, hi = 0, len(starts) - 1
+        best = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if starts[mid] <= byte_addr:
+                best = starts[mid]
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return self.blocks.get(best)
+
+    def reachable_from(self, roots):
+        """Block start addresses reachable from *roots* following block
+        edges **and** internal call edges (a called function is live)."""
+        calls_by_block = {}
+        for site in self.calls:
+            if site.target is not None and \
+                    self.start <= site.target < self.end and \
+                    site.target in self.blocks:
+                calls_by_block.setdefault(site.block, []).append(site.target)
+        seen = set()
+        work = [r for r in roots if r in self.blocks]
+        while work:
+            addr = work.pop()
+            if addr in seen:
+                continue
+            seen.add(addr)
+            block = self.blocks[addr]
+            for succ in block.succs:
+                if succ not in seen and succ in self.blocks:
+                    work.append(succ)
+            for target in calls_by_block.get(addr, ()):
+                if target not in seen:
+                    work.append(target)
+        return seen
+
+    def predecessors(self):
+        """Map block start -> list of predecessor block starts."""
+        preds = {addr: [] for addr in self.blocks}
+        for addr, block in self.blocks.items():
+            for succ in block.succs:
+                if succ in preds:
+                    preds[succ].append(addr)
+        return preds
+
+
+# =====================================================================
+# Function partition + call graph
+# =====================================================================
+@dataclass
+class FunctionInfo:
+    """A function inside a region: entry block and its body blocks."""
+
+    entry: int
+    blocks: set = field(default_factory=set)    # block start addresses
+    calls: list = field(default_factory=list)   # CallSite list
+
+
+def partition_functions(cfg, entries):
+    """Split *cfg* into functions, flow-based.
+
+    Function entries are the declared *entries* plus every internal call
+    target.  A function's body is the set of blocks reachable from its
+    entry along block edges without crossing another entry — so a call
+    site is attributed to the function(s) whose activation actually
+    executes it (a block shared by two functions, e.g. a common error
+    tail, counts for both: conservative, never undercounting).  Blocks
+    reachable from no entry (host-only-callable code never targeted by
+    an internal call) stay unattributed; declare such functions as
+    entries to include them.
+    """
+    starts = set()
+    for addr in entries:
+        if addr in cfg.blocks:
+            starts.add(addr)
+    for site in cfg.calls:
+        if site.target is not None and site.target in cfg.blocks:
+            starts.add(site.target)
+    if not starts and cfg.start in cfg.blocks:
+        starts.add(cfg.start)
+    functions = {}
+    for entry in sorted(starts):
+        blocks = set()
+        work = [entry]
+        while work:
+            addr = work.pop()
+            if addr in blocks:
+                continue
+            blocks.add(addr)
+            for succ in cfg.blocks[addr].succs:
+                if succ in cfg.blocks and succ not in starts:
+                    work.append(succ)
+        functions[entry] = FunctionInfo(entry=entry, blocks=blocks)
+    for site in cfg.calls:
+        for info in functions.values():
+            if site.block in info.blocks:
+                info.calls.append(site)
+    return functions
+
+
+def build_call_graph(functions):
+    """Intra-region call graph: entry addr -> set of callee entry addrs
+    (only calls whose static target is itself a function entry)."""
+    graph = {entry: set() for entry in functions}
+    for entry, info in functions.items():
+        for site in info.calls:
+            if site.target in functions:
+                graph[entry].add(site.target)
+    return graph
+
+
+def find_cycles(graph):
+    """Strongly connected components with more than one node (or a
+    self-loop): the recursion cycles of the call graph.  Iterative
+    Tarjan so deep graphs cannot hit the recursion limit."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1 or node in graph.get(node, ()):
+                    sccs.append(sorted(scc))
+    return sccs
+
+
+def max_call_depth(graph, entry, cyclic_nodes=frozenset()):
+    """Longest call chain (in function activations, >= 1) starting at
+    *entry*.  Nodes in *cyclic_nodes* poison the result to ``None``
+    (unbounded)."""
+    memo = {}
+    # depths in reverse topological order (iterative DFS, so deep call
+    # chains cannot hit the host recursion limit)
+    order = []
+    seen = set()
+    work = [(entry, iter(sorted(graph.get(entry, ()))))]
+    seen.add(entry)
+    while work:
+        node, it = work[-1]
+        advanced = False
+        for succ in it:
+            if succ not in seen:
+                seen.add(succ)
+                work.append((succ, iter(sorted(graph.get(succ, ())))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            work.pop()
+    for node in order:
+        if node in cyclic_nodes:
+            memo[node] = None
+            continue
+        best = 1
+        for callee in graph.get(node, ()):
+            # a callee not yet finished is a back edge (cycle that the
+            # caller did not flag): treat as unbounded, never undercount
+            sub = memo.get(callee)
+            if sub is None or callee in cyclic_nodes:
+                best = None
+                break
+            best = max(best, 1 + sub)
+        memo[node] = best
+    return memo.get(entry, 1)

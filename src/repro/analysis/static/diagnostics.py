@@ -1,0 +1,243 @@
+"""Diagnostics engine for the whole-image static analyzer.
+
+Every finding the analyzer (or the on-node verifier in multi-diagnostic
+mode) produces is a :class:`Diagnostic` referencing a :class:`Rule` from
+a fixed catalog.  Rule codes (``HL001`` ...) and slugs are **stable
+machine-readable identifiers** — the same convention as the fault-code
+slugs of :mod:`repro.core.faults`: scripts and CI gates match on the
+code, humans read the slug and message, and neither ever changes
+meaning once shipped.
+
+Exporters: flat text (one line per finding, grep-friendly), JSON
+(schema-versioned, like :mod:`repro.trace.metrics`) and a minimal SARIF
+2.1.0 document so the report can be uploaded to code-scanning UIs.
+
+This module is dependency-free on purpose: :mod:`repro.sfi.verifier`
+imports it for rule codes without dragging the analyzer (or an import
+cycle) along.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+#: JSON export schema version (bump on incompatible changes).
+LINT_SCHEMA = 1
+
+#: Severity levels, most severe first (also the report sort order).
+SEVERITIES = ("error", "warning", "note")
+
+#: SARIF result levels per severity.
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "note": "note"}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the stable rule catalog."""
+
+    code: str       # "HL001" — never renumbered
+    slug: str       # "unchecked-store" — never renamed
+    severity: str   # "error" | "warning" | "note"
+    summary: str    # one-line description for catalogs and SARIF
+
+
+#: The rule catalog.  Codes are append-only: a retired rule keeps its
+#: number (like fault-code slugs, these are wire format).
+RULES = tuple(Rule(*fields) for fields in (
+    ("HL001", "unchecked-store", "error",
+     "store does not go through a runtime check stub"),
+    ("HL002", "direct-cross-domain-call", "error",
+     "cross-domain transfer bypasses hb_xdom_call"),
+    ("HL003", "missing-restore-ret", "error",
+     "a ret path does not run the restore stub"),
+    ("HL004", "mid-instruction-target", "error",
+     "control transfer into the middle of a 32-bit instruction"),
+    ("HL005", "forbidden-instruction", "error",
+     "instruction is outside the sandboxed subset"),
+    ("HL006", "control-escape", "error",
+     "static control transfer leaves the module sandbox"),
+    ("HL007", "protected-io-write", "error",
+     "write to a protected or unapproved I/O register"),
+    ("HL008", "recursion-cycle", "warning",
+     "call-graph cycle: static call depth is unbounded"),
+    ("HL009", "safe-stack-bound-exceeded", "error",
+     "worst-case safe-stack occupancy exceeds the configured region"),
+    ("HL010", "dead-code", "note",
+     "basic block unreachable from any export or jump-table entry"),
+    ("HL011", "undecodable-word", "error",
+     "flash word in a code region does not decode"),
+    ("HL012", "unresolved-indirect-target", "warning",
+     "indirect transfer target not resolvable by abstract interpretation"),
+    ("HL013", "bad-jump-table-entry", "error",
+     "jump-table entry malformed or targets a foreign domain"),
+))
+
+RULE_BY_CODE = {rule.code: rule for rule in RULES}
+RULE_BY_SLUG = {rule.slug: rule for rule in RULES}
+
+
+def rule(code_or_slug):
+    """Look up a rule by code (``HL001``) or slug (``unchecked-store``)."""
+    hit = RULE_BY_CODE.get(code_or_slug) or RULE_BY_SLUG.get(code_or_slug)
+    if hit is None:
+        raise KeyError("unknown lint rule {!r}".format(code_or_slug))
+    return hit
+
+
+@dataclass
+class Diagnostic:
+    """One finding: a rule violated at a flash byte address."""
+
+    rule: Rule
+    message: str
+    byte_addr: int = None       # flash byte address, when meaningful
+    region: str = None          # module/region name
+    domain: int = None
+    context: dict = field(default_factory=dict)
+
+    @property
+    def code(self):
+        return self.rule.code
+
+    @property
+    def severity(self):
+        return self.rule.severity
+
+    def render(self):
+        """One grep-friendly line: ``severity CODE[slug] @addr region: msg``."""
+        where = "0x{:04x}".format(self.byte_addr) \
+            if self.byte_addr is not None else "-"
+        place = self.region or "-"
+        return "{:<7} {} [{}] {:>8} {:<12} {}".format(
+            self.severity, self.rule.code, self.rule.slug, where, place,
+            self.message)
+
+    def to_dict(self):
+        doc = {"code": self.rule.code, "slug": self.rule.slug,
+               "severity": self.severity, "message": self.message,
+               "byte_addr": self.byte_addr, "region": self.region,
+               "domain": self.domain}
+        if self.context:
+            doc["context"] = dict(self.context)
+        return doc
+
+
+class DiagnosticsEngine:
+    """Collects diagnostics and renders/exports them.
+
+    Every producer (analyses, the verifier's collect-all mode) calls
+    :meth:`emit`; consumers read :attr:`findings` or one of the export
+    methods.  Findings keep emission order within a severity; rendering
+    sorts most-severe-first, then by address.
+    """
+
+    def __init__(self):
+        self.findings = []
+
+    def emit(self, code_or_slug, message, byte_addr=None, region=None,
+             domain=None, **context):
+        diag = Diagnostic(rule(code_or_slug), message, byte_addr=byte_addr,
+                          region=region, domain=domain, context=context)
+        self.findings.append(diag)
+        return diag
+
+    def extend(self, diagnostics):
+        self.findings.extend(diagnostics)
+        return self
+
+    # ------------------------------------------------------------------
+    def by_severity(self, severity):
+        return [d for d in self.findings if d.severity == severity]
+
+    @property
+    def errors(self):
+        return self.by_severity("error")
+
+    @property
+    def has_errors(self):
+        return any(d.severity == "error" for d in self.findings)
+
+    def codes(self):
+        """The set of rule codes present (what CI gates pin against)."""
+        return {d.rule.code for d in self.findings}
+
+    def sorted(self):
+        rank = {sev: i for i, sev in enumerate(SEVERITIES)}
+        return sorted(self.findings,
+                      key=lambda d: (rank[d.severity],
+                                     d.byte_addr if d.byte_addr is not None
+                                     else -1))
+
+    def __len__(self):
+        return len(self.findings)
+
+    # ------------------------------------------------------------------
+    def render_text(self):
+        if not self.findings:
+            return "no findings"
+        lines = [d.render() for d in self.sorted()]
+        counts = {sev: len(self.by_severity(sev)) for sev in SEVERITIES}
+        lines.append("{} finding(s): {}".format(
+            len(self.findings),
+            ", ".join("{} {}".format(counts[sev], sev) for sev in SEVERITIES
+                      if counts[sev])))
+        return "\n".join(lines)
+
+    def to_dict(self, analysis=None):
+        """Schema-versioned JSON-ready export; *analysis* is an optional
+        dict of analysis summaries (bounds, overhead) appended verbatim."""
+        doc = {"schema": LINT_SCHEMA,
+               "findings": [d.to_dict() for d in self.sorted()],
+               "counts": {sev: len(self.by_severity(sev))
+                          for sev in SEVERITIES}}
+        if analysis is not None:
+            doc["analysis"] = analysis
+        return doc
+
+    def to_sarif(self, artifact="image"):
+        """Minimal SARIF 2.1.0 document (code-scanning upload format)."""
+        used = sorted(self.codes())
+        rules = [{"id": code,
+                  "name": RULE_BY_CODE[code].slug,
+                  "shortDescription": {"text": RULE_BY_CODE[code].summary}}
+                 for code in used]
+        index = {code: i for i, code in enumerate(used)}
+        results = []
+        for diag in self.sorted():
+            entry = {
+                "ruleId": diag.rule.code,
+                "ruleIndex": index[diag.rule.code],
+                "level": _SARIF_LEVEL[diag.severity],
+                "message": {"text": diag.message},
+            }
+            location = {"physicalLocation": {
+                "artifactLocation": {"uri": diag.region or artifact}}}
+            if diag.byte_addr is not None:
+                location["physicalLocation"]["region"] = {
+                    "byteOffset": diag.byte_addr}
+            entry["locations"] = [location]
+            results.append(entry)
+        return {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {"name": "harbor-lint",
+                                    "informationUri":
+                                        "https://example.invalid/harbor",
+                                    "rules": rules}},
+                "results": results,
+            }],
+        }
+
+
+def write_report(path, engine, fmt="json", analysis=None):
+    """Write the findings to *path* as ``json`` or ``sarif``."""
+    if fmt == "json":
+        doc = engine.to_dict(analysis=analysis)
+    elif fmt == "sarif":
+        doc = engine.to_sarif()
+    else:
+        raise ValueError("unknown report format {!r}".format(fmt))
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+    return path

@@ -1,0 +1,205 @@
+"""Whole-image model: what the static analyzer analyzes.
+
+An :class:`ImageModel` bundles everything the analyses need about one
+flash image: a word reader, the :class:`~repro.sfi.layout.SfiLayout`,
+the jump-table geometry, the trusted runtime region and every module
+region with its entry points, plus a combined symbol map (runtime
+labels + jump-table entry labels + module exports) used to symbolize
+diagnostics.
+
+:meth:`ImageModel.from_system` builds the model straight off a live
+:class:`~repro.sfi.system.SfiSystem` or
+:class:`~repro.umpu.system.UmpuSystem` (duck-typed: both expose
+``layout``/``machine``/``runtime``/``jump_table``/``modules``), which is
+what the ``harbor-lint`` CLI and the strict load-time gate use.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import DecodeError, decode_words
+
+from repro.analysis.static.cfg import RegionCFG
+
+
+@dataclass
+class ModuleRegion:
+    """One contiguous code region of the image.
+
+    *policy* selects the rules that apply:
+
+    * ``"sfi"`` — a rewritten, sandboxed module: the full rule set
+      (stores via stubs, no direct cross-domain calls, restore-stub
+      discipline, ...);
+    * ``"umpu"`` — an unrewritten module on the hardware system: raw
+      stores are legal (the MMC checks them), but control-flow rules
+      (jump-table discipline, boundaries) still apply;
+    * ``"trusted"`` — the runtime/kernel itself: exempt from sandbox
+      rules, still parsed for the call-depth and occupancy analyses.
+    """
+
+    name: str
+    domain: int
+    start: int
+    end: int
+    policy: str = "sfi"
+    entries: dict = field(default_factory=dict)   # name -> byte address
+
+
+@dataclass
+class JtEntry:
+    """One parsed jump-table slot."""
+
+    domain: int
+    index: int
+    addr: int          # flash byte address of the slot
+    target: int = None  # jmp destination (byte address) or None
+    ok: bool = True     # decoded to a plain jmp?
+    words: tuple = ()   # raw flash words of the slot
+
+
+class ImageModel:
+    """A flash image plus the layout metadata the analyses need."""
+
+    def __init__(self, read_word, layout, jump_table, runtime_region,
+                 modules=(), symbols=None, allowed_io=(), mode="sfi"):
+        self.read_word = read_word
+        self.layout = layout
+        self.jump_table = jump_table
+        self.runtime = runtime_region          # ModuleRegion or None
+        self.modules = list(modules)
+        self.symbols = dict(symbols or {})     # name -> byte address
+        self.allowed_io = frozenset(allowed_io)
+        self.mode = mode                       # "sfi" | "umpu"
+        self._cfgs = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_system(cls, system, extra_modules=()):
+        """Model a live SfiSystem/UmpuSystem node."""
+        machine = system.machine
+        layout = system.layout
+        read_word = machine.memory.read_flash_word
+        is_sfi = hasattr(system, "verifier")
+        lo, hi = system.runtime.extent()
+        symbols = system.symbol_map() if hasattr(system, "symbol_map") \
+            else dict(system.runtime.symbols)
+        runtime_entries = {}
+        from repro.sfi.runtime_asm import RUNTIME_ENTRIES
+        from repro.sfi.system import KERNEL_EXPORTS
+        entry_names = set(RUNTIME_ENTRIES)
+        entry_names.update(stub for _n, stub in KERNEL_EXPORTS)
+        entry_names.update(("hb_init", "hb_fault_r20", "hb_dispatch"))
+        for name in entry_names:
+            addr = system.runtime.symbols.get(name)
+            if addr is not None:
+                runtime_entries[name] = addr
+        runtime = ModuleRegion(
+            name="runtime", domain=None, start=lo * 2, end=(hi + 1) * 2,
+            policy="trusted", entries=runtime_entries)
+        model = cls(read_word, layout, system.jump_table, runtime,
+                    symbols=symbols,
+                    allowed_io=getattr(getattr(system, "verifier", None),
+                                       "allowed_io", ()),
+                    mode="sfi" if is_sfi else "umpu")
+        for module in system.modules.values():
+            entries = {}
+            for export, entry_addr in module.exports.items():
+                target = model.jt_target(entry_addr)
+                if target is not None:
+                    entries[export] = target
+            model.modules.append(ModuleRegion(
+                name=module.name, domain=module.domain,
+                start=module.start, end=module.end,
+                policy="sfi" if is_sfi else "umpu", entries=entries))
+        model.modules.extend(extra_modules)
+        return model
+
+    # ------------------------------------------------------------------
+    @property
+    def regions(self):
+        """All code regions, trusted runtime first."""
+        out = []
+        if self.runtime is not None:
+            out.append(self.runtime)
+        out.extend(self.modules)
+        return out
+
+    def region_of(self, byte_addr):
+        for region in self.regions:
+            if region.start <= byte_addr < region.end:
+                return region
+        return None
+
+    def cfg_for(self, region):
+        """The (cached) :class:`RegionCFG` of *region*."""
+        cfg = self._cfgs.get(region.name)
+        if cfg is None:
+            cfg = RegionCFG.build(self.read_word, region.start, region.end,
+                                  name=region.name,
+                                  extra_leaders=sorted(
+                                      region.entries.values()))
+            self._cfgs[region.name] = cfg
+        return cfg
+
+    # ------------------------------------------------------------------
+    def symbols_by_addr(self):
+        out = {}
+        for name, addr in sorted(self.symbols.items()):
+            out.setdefault(addr, name)
+        return out
+
+    def symbolize(self, byte_addr):
+        by_addr = self.symbols_by_addr()
+        if byte_addr in by_addr:
+            return by_addr[byte_addr]
+        return "0x{:04x}".format(byte_addr)
+
+    # ------------------------------------------------------------------
+    def jt_target(self, entry_addr):
+        """The jmp destination of the jump-table slot at *entry_addr*
+        (byte address), or None if the slot does not decode to a jmp."""
+        try:
+            w0 = self.read_word(entry_addr // 2)
+            w1 = self.read_word(entry_addr // 2 + 1)
+            instr = decode_words(w0, w1)
+        except Exception:
+            return None
+        if instr.key != "jmp":
+            return None
+        return instr.operands[0] * 2
+
+    def jt_entries(self):
+        """Parse every jump-table slot; yields :class:`JtEntry`."""
+        jt = self.jump_table
+        entries = []
+        for domain in range(jt.ndomains):
+            for index in range(jt.entries_per_domain):
+                addr = jt.entry_addr(domain, index)
+                try:
+                    w0 = self.read_word(addr // 2)
+                    w1 = self.read_word(addr // 2 + 1)
+                except Exception:
+                    entries.append(JtEntry(domain, index, addr, ok=False))
+                    continue
+                words = (w0, w1)
+                try:
+                    instr = decode_words(w0, w1)
+                except DecodeError:
+                    entries.append(JtEntry(domain, index, addr, ok=False,
+                                           words=words))
+                    continue
+                if instr.key != "jmp":
+                    entries.append(JtEntry(domain, index, addr, ok=False,
+                                           words=words))
+                    continue
+                entries.append(JtEntry(domain, index, addr,
+                                       target=instr.operands[0] * 2,
+                                       words=words))
+        return entries
+
+    def jt_targets_into(self, region):
+        """Jump-table targets landing inside *region* (the addresses a
+        cross-domain call can reach — entry roots for reachability)."""
+        return sorted({e.target for e in self.jt_entries()
+                       if e.target is not None
+                       and region.start <= e.target < region.end})

@@ -21,6 +21,13 @@ Installed as console scripts (see ``pyproject.toml``):
   structured panic dump (text or ``--json``).
 * ``harbor-metrics SOURCE`` — execute with the metrics registry
   attached and print/export the counters, gauges and histograms.
+* ``harbor-lint MODULE[:EXPORTS] [...]`` — build a whole node image
+  from module sources (through the rewriter/verifier pipeline, or raw
+  with ``--unchecked``) and run the whole-image static analyzer: CFG +
+  abstract-interpretation protection verification, safe-stack bounds,
+  overhead estimation and dead-code detection, reported with stable
+  ``HLxxx`` rule codes (text, JSON or SARIF); see
+  ``docs/static-analysis.md``.
 
 The image format is deliberately trivial: one ``ADDR: WORD`` hex pair
 per line (word addresses), so images are diffable and editable.
@@ -378,17 +385,124 @@ def cmd_metrics(argv=None):
     return 0
 
 
+def cmd_lint(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-lint",
+        description="whole-image static analyzer: build a node image "
+                    "from module sources and run the CFG + abstract-"
+                    "interpretation analyses (protection verification, "
+                    "safe-stack bounds, overhead estimation, dead code); "
+                    "findings carry stable HLxxx rule codes")
+    parser.add_argument("modules", nargs="+", metavar="MODULE[:EXPORTS]",
+                        help="module source (.s) or image (.hex); "
+                             "EXPORTS is a comma-separated export list "
+                             "(default: every label)")
+    parser.add_argument("--umpu", action="store_true",
+                        help="model the hardware-protected system "
+                             "(modules load unrewritten)")
+    parser.add_argument("--unchecked", action="store_true",
+                        help="place the raw images without the rewriter/"
+                             "verifier pipeline — lint miscompiled or "
+                             "hand-written binaries the loader would "
+                             "reject")
+    parser.add_argument("--allow-io", action="append", default=[],
+                        type=lambda v: int(v, 0),
+                        help="whitelisted I/O address (repeatable)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the report here (in --format)")
+    parser.add_argument("--no-dead-code", action="store_true",
+                        help="skip the dead/unreachable-block analysis")
+    args = parser.parse_args(argv)
+    import json as json_mod
+
+    from repro.analysis.static import (
+        ModuleRegion,
+        lint_system,
+        write_report,
+    )
+    from repro.asm.assembler import default_symbols
+    from repro.sfi.system import SfiSystem
+    from repro.umpu.system import UmpuSystem
+
+    if args.umpu:
+        system = UmpuSystem()
+    else:
+        system = SfiSystem(allowed_io=tuple(args.allow_io))
+    predefined = set(default_symbols())
+    extra_regions = []
+    try:
+        for index, spec in enumerate(args.modules):
+            path, _, exports_text = spec.partition(":")
+            if path.endswith(".hex"):
+                program = _load_image(path)
+            else:
+                asm = Assembler(symbols=system.kernel_symbols())
+                program = asm.assemble(_read_source(path), name=path)
+            lo, hi = program.extent()
+            labels = {n: a for n, a in program.symbols.items()
+                      if n not in predefined and lo * 2 <= a <= hi * 2 + 1}
+            exports = tuple(e for e in exports_text.split(",") if e) \
+                or tuple(sorted(labels))
+            name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+            if args.unchecked:
+                base = system._next_load
+                for word_addr, value in program.words.items():
+                    system.machine.memory.write_flash_word(
+                        base // 2 + word_addr - lo, value)
+                system.machine.core.invalidate_decode_cache()
+                end = base + (hi - lo + 1) * 2
+                entries = {e: base + labels[e] - lo * 2
+                           for e in exports if e in labels}
+                extra_regions.append(ModuleRegion(
+                    name=name, domain=index, start=base, end=end,
+                    policy="umpu" if args.umpu else "sfi",
+                    entries=entries))
+                system._next_load = (end + 0xFF) & ~0xFF
+            else:
+                system.load_module(program, name, exports=exports)
+    except (AsmError, RewriteError, VerifyError, OSError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+    model, report = lint_system(system,
+                                dead_code=not args.no_dead_code,
+                                extra_modules=extra_regions)
+    engine = report.diagnostics
+    analysis = report.analysis_dict()
+    if args.format == "text":
+        text = engine.render_text()
+        tail = report.render_analysis()
+        if tail:
+            text += "\n\n" + tail
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+    else:
+        if args.output:
+            write_report(args.output, engine, fmt=args.format,
+                         analysis=analysis)
+        doc = engine.to_sarif() if args.format == "sarif" \
+            else engine.to_dict(analysis=analysis)
+        print(json_mod.dumps(doc, indent=1, sort_keys=True))
+    if args.output:
+        print("; lint report -> {}".format(args.output), file=sys.stderr)
+    return 1 if engine.has_errors else 0
+
+
 def main(argv=None):
     """Multiplexer: ``python -m repro.cli <tool> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     tools = {"asm": cmd_asm, "disasm": cmd_disasm,
              "rewrite": cmd_rewrite, "verify": cmd_verify,
              "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile,
-             "explain-fault": cmd_explain_fault, "metrics": cmd_metrics}
+             "explain-fault": cmd_explain_fault, "metrics": cmd_metrics,
+             "lint": cmd_lint}
     if not argv or argv[0] not in tools:
         print("usage: python -m repro.cli "
               "{asm|disasm|rewrite|verify|run|trace|profile|"
-              "explain-fault|metrics} ...",
+              "explain-fault|metrics|lint} ...",
               file=sys.stderr)
         return 64
     return tools[argv[0]](argv[1:])

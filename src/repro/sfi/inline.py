@@ -39,7 +39,7 @@ from repro.sfi.layout import (
     SfiLayout,
 )
 from repro.sfi.rewriter import RewriteError, Rewriter, _Item
-from repro.sfi.verifier import Verifier, VerifyError
+from repro.sfi.verifier import Verifier
 
 #: the check core: validates a store to [X] for the current domain.
 #: Saves/restores r20/r21/r30/r31 itself; SREG is saved by the caller
@@ -247,7 +247,8 @@ class TemplateVerifier(Verifier):
         for lo, hi_addr in self._protected_ranges:
             for target in targets:
                 if lo < target <= hi_addr:
-                    raise VerifyError(
+                    self._violation(
+                        "HL004",
                         "skip lands between an inline check and its "
                         "store", target)
         return report
@@ -270,11 +271,11 @@ class TemplateVerifier(Verifier):
                     (core_start, line.byte_addr))
                 self._guards = getattr(self, "_guards", 0) + 1
                 return  # admitted
-            raise VerifyError(
-                "raw store without the inline check template",
+            self._violation(
+                "HL001", "raw store without the inline check template",
                 line.byte_addr)
-        raise VerifyError("forbidden instruction {!r}".format(key),
-                          line.byte_addr)
+            return
+        super()._forbidden_key(key, line, branch_targets)
 
     def _check_protected_targets(self, branch_targets):
         for target, addr in branch_targets:
@@ -283,6 +284,7 @@ class TemplateVerifier(Verifier):
                     # transfers *within* a matched template are its own
                     # (byte-exact) control flow; anything from outside
                     # would bypass the check
-                    raise VerifyError(
+                    self._violation(
+                        "HL004",
                         "control transfer into an inline check "
                         "(target 0x{:04x})".format(target), addr)

@@ -35,7 +35,7 @@ from repro.sfi.layout import (
 )
 from repro.sfi.rewriter import Rewriter
 from repro.sfi.runtime_asm import build_runtime
-from repro.sfi.verifier import Verifier
+from repro.sfi.verifier import Verifier, VerifyError
 from repro.sim import Machine
 from repro.sos.linker import CrossDomainLinker
 
@@ -64,12 +64,16 @@ class LoadedModule:
 class SfiSystem:
     """A simulated node running the software-only Harbor system."""
 
-    def __init__(self, layout=None, allowed_io=()):
+    def __init__(self, layout=None, allowed_io=(), strict_lint=False):
         self.layout = layout or SfiLayout()
+        #: when set, every load additionally runs the whole-image static
+        #: analyzer and refuses admission on any error-severity finding
+        self.strict_lint = strict_lint
         self.runtime = build_runtime(self.layout)
         self.machine = Machine(self.runtime)
         self.machine.attach_forensics(layout=self.layout,
-                                      memmap=lambda: self.memmap)
+                                      memmap=lambda: self.memmap,
+                                      symbols=self.symbol_map)
         self.jump_table = JumpTable(
             base=self.layout.jt_base,
             ndomains=self.layout.ndomains,
@@ -130,8 +134,24 @@ class SfiSystem:
                                        export.upper())] = addr
         return syms
 
+    def symbol_map(self):
+        """Whole-image symbol map: runtime labels, jump-table slot
+        labels (``jt_d<n>_<export>``) and module export code addresses
+        (``<module>.<export>``) — what the disassembler, the fault
+        forensics windows and harbor-lint symbolize against."""
+        syms = dict(self.runtime.symbols)
+        syms.update(self.linker.symbols())
+        for module in self.modules.values():
+            for export in module.exports:
+                target = self.linker.export_target(module.domain, export)
+                if target is not None:
+                    syms.setdefault(
+                        "{}.{}".format(module.name, export), target)
+        return syms
+
     # ------------------------------------------------------------------
-    def load_module(self, program, name, exports=(), entries=()):
+    def load_module(self, program, name, exports=(), entries=(),
+                    lint=None):
         """Admit a module: rewrite, verify, link, install.
 
         *program* is the module's assembled image (unsandboxed).
@@ -139,6 +159,13 @@ class SfiSystem:
         :class:`~repro.sfi.verifier.VerifyError` if the rewritten binary
         does not verify (correctness depends on the verifier, not the
         rewriter).
+
+        *lint* (default: the system's ``strict_lint`` flag) additionally
+        runs the whole-image static analyzer after installation and
+        unloads + rejects the module on any error-severity finding —
+        catching whole-image properties (jump-table sanity, cross-region
+        edges, unbounded safe-stack occupancy) the per-module linear
+        scan cannot see.
         """
         if self._free_domains:
             domain = self._free_domains.pop(0)
@@ -167,7 +194,24 @@ class SfiSystem:
         if domain == self._next_domain:
             self._next_domain += 1
         self._next_load = (rewritten.end + 0xFF) & ~0xFF
+        if lint if lint is not None else self.strict_lint:
+            self._lint_gate(name)
         return module
+
+    def _lint_gate(self, name):
+        """Strict-mode admission: run the whole-image analyzer and back
+        the load out on any error-severity finding."""
+        from repro.analysis.static import lint_system
+        _model, report = lint_system(self)
+        if report.diagnostics.has_errors:
+            codes = sorted({d.rule.code
+                            for d in report.diagnostics.errors})
+            first = report.diagnostics.errors[0]
+            self.unload_module(name)
+            raise VerifyError(
+                "whole-image lint rejected module {!r} ({}): {}".format(
+                    name, ", ".join(codes), first.message),
+                byte_addr=first.byte_addr, rule=first.rule.code)
 
 
     def unload_module(self, name):

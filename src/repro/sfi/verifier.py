@@ -34,10 +34,16 @@ from repro.sfi.runtime_asm import RUNTIME_ENTRIES
 
 
 class VerifyError(Exception):
-    """The module failed verification (carries the offending address)."""
+    """The module failed verification.
 
-    def __init__(self, message, byte_addr=None):
+    Carries the offending address and the stable harbor-lint rule code
+    (``HL0xx``, see :mod:`repro.analysis.static.diagnostics`) naming the
+    violated rule — the same codes the whole-image analyzer emits.
+    """
+
+    def __init__(self, message, byte_addr=None, rule=None):
         self.byte_addr = byte_addr
+        self.rule = rule
         if byte_addr is not None:
             message = "{} (at 0x{:04x})".format(message, byte_addr)
         super().__init__(message)
@@ -65,6 +71,13 @@ class Verifier:
         "ijmp", "icall", "break", "reti", "sleep", "wdr",
     })
 
+    #: store keys within FORBIDDEN_KEYS (their violations are HL001,
+    #: everything else HL005)
+    STORE_KEYS = frozenset({
+        "st_x", "st_xp", "st_mx", "st_yp", "st_my", "st_zp", "st_mz",
+        "std_y", "std_z", "sts",
+    })
+
     def __init__(self, runtime_symbols, layout=None, allowed_io=()):
         self.layout = layout or SfiLayout()
         self.entry_addrs = {runtime_symbols[name]
@@ -72,6 +85,32 @@ class Verifier:
                             if name in runtime_symbols}
         self.restore_addr = runtime_symbols.get("hb_restore_ret")
         self.allowed_io = frozenset(allowed_io)
+        self._collector = None
+
+    # ------------------------------------------------------------------
+    def _violation(self, rule, message, byte_addr=None):
+        """Report one violation: raise (default, fail-fast) or collect
+        into the multi-diagnostic engine when scanning via verify_all."""
+        if self._collector is not None:
+            self._collector.emit(rule, message, byte_addr=byte_addr)
+            return
+        raise VerifyError(message, byte_addr, rule=rule)
+
+    def verify_all(self, flash_words, start, end):
+        """Scan the whole module and collect *every* violation instead
+        of stopping at the first — returns a
+        :class:`~repro.analysis.static.diagnostics.DiagnosticsEngine`
+        (empty when the module verifies).  The fail-fast :meth:`verify`
+        stays the admission default; this mode serves toolchain
+        diagnostics (``harbor-lint``)."""
+        from repro.analysis.static.diagnostics import DiagnosticsEngine
+        engine = DiagnosticsEngine()
+        self._collector = engine
+        try:
+            self.verify(flash_words, start, end)
+        finally:
+            self._collector = None
+        return engine
 
     # ------------------------------------------------------------------
     def verify(self, flash_words, start, end):
@@ -92,8 +131,10 @@ class Verifier:
             addr = line.byte_addr
             report.boundaries.add(addr)
             if line.instr is None:
-                raise VerifyError("undecodable word 0x{:04x}"
-                                  .format(line.words[0]), addr)
+                self._violation(
+                    "HL011", "undecodable word 0x{:04x}"
+                    .format(line.words[0]), addr)
+                continue
             key = line.instr.key
             report.instructions += 1
             if key in self.FORBIDDEN_KEYS:
@@ -111,7 +152,9 @@ class Verifier:
                     report.internal_calls += 1
                     branch_targets.append((target, addr))
                 else:
-                    raise VerifyError(
+                    self._violation(
+                        "HL002" if self._in_jump_table(target)
+                        else "HL006",
                         "call escapes the sandbox (target 0x{:04x})"
                         .format(target), addr)
             elif key in ("jmp", "rjmp"):
@@ -119,7 +162,9 @@ class Verifier:
                 if target in self._allowed_jump_exits():
                     pass  # e.g. the fault entry inside an inline check
                 elif not start <= target < end:
-                    raise VerifyError(
+                    self._violation(
+                        "HL002" if self._in_jump_table(target)
+                        else "HL006",
                         "jump escapes the sandbox (target 0x{:04x})"
                         .format(target), addr)
                 else:
@@ -127,30 +172,38 @@ class Verifier:
             elif key in ("brbs", "brbc"):
                 target = addr + 2 + 2 * line.instr.operands[-1]
                 if not start <= target < end:
-                    raise VerifyError(
+                    self._violation(
+                        "HL006",
                         "branch escapes the sandbox (target 0x{:04x})"
                         .format(target), addr)
-                branch_targets.append((target, addr))
+                else:
+                    branch_targets.append((target, addr))
             elif key == "ret":
                 report.rets += 1
                 if not was_restore:
-                    raise VerifyError(
+                    self._violation(
+                        "HL003",
                         "ret not preceded by call hb_restore_ret", addr)
         # second half of the constant-state scan: every internal control
         # transfer must land on an instruction boundary
         for target, addr in branch_targets:
             if target not in report.boundaries:
-                raise VerifyError(
+                self._violation(
+                    "HL004",
                     "control transfer into the middle of an instruction "
                     "(target 0x{:04x})".format(target), addr)
         self._check_protected_targets(branch_targets)
         return report
 
+    def _in_jump_table(self, target):
+        return self.layout.jt_base <= target < self.layout.jt_end
+
     # --- extension hooks (the verifier design space, see
     # repro.sfi.inline.TemplateVerifier) --------------------------------
     def _forbidden_key(self, key, line, branch_targets):
-        raise VerifyError("forbidden instruction {!r}".format(key),
-                          line.byte_addr)
+        self._violation(
+            "HL001" if key in self.STORE_KEYS else "HL005",
+            "forbidden instruction {!r}".format(key), line.byte_addr)
 
     def _check_protected_targets(self, branch_targets):
         """No protected ranges in the constant-state verifier."""
@@ -165,20 +218,25 @@ class Verifier:
         if key == "out":
             io = line.instr.operands[0]
             if io in (IoReg.SPL, IoReg.SPH, IoReg.SREG):
-                raise VerifyError(
+                self._violation(
+                    "HL007",
                     "write to protected I/O register 0x{:02x}".format(io),
                     addr)
-            if io in IoReg.UMPU_REGISTERS:
-                raise VerifyError(
-                    "write to protection register 0x{:02x}".format(io), addr)
-            if io not in self.allowed_io:
-                raise VerifyError(
+            elif io in IoReg.UMPU_REGISTERS:
+                self._violation(
+                    "HL007",
+                    "write to protection register 0x{:02x}".format(io),
+                    addr)
+            elif io not in self.allowed_io:
+                self._violation(
+                    "HL007",
                     "write to unapproved I/O register 0x{:02x}".format(io),
                     addr)
         if key in ("sbi", "cbi"):
             io = line.instr.operands[0]
             if io not in self.allowed_io:
-                raise VerifyError(
+                self._violation(
+                    "HL007",
                     "bit write to unapproved I/O register 0x{:02x}"
                     .format(io), addr)
 

@@ -73,13 +73,17 @@ class Machine:
         from repro.trace import install_profiler
         return install_profiler(self, runtime_region=runtime_region)
 
-    def attach_forensics(self, window=16, layout=None, memmap=None):
+    def attach_forensics(self, window=16, layout=None, memmap=None,
+                         symbols=None):
         """Attach a :class:`repro.trace.forensics.FlightRecorder` so
         every propagating :class:`ProtectionFault` carries a
         :class:`~repro.trace.forensics.FaultReport`.  *layout* drives
         region classification / software call-stack reconstruction;
         *memmap* is a :class:`~repro.core.memmap.MemoryMap` (or a
-        zero-arg callable returning one) for owner annotation."""
+        zero-arg callable returning one) for owner annotation;
+        *symbols* is an extra ``name -> byte address`` map (or a
+        zero-arg callable returning one, e.g. ``system.symbol_map``)
+        merged into the instruction-window symbolization."""
         from repro.trace.forensics import FlightRecorder
         if self.forensics is None:
             self.forensics = FlightRecorder(self, window=window)
@@ -89,6 +93,8 @@ class Machine:
             self.forensics.layout = layout
         if memmap is not None:
             self.forensics.memmap_provider = memmap
+        if symbols is not None:
+            self.forensics.symbols = symbols
         return self.forensics
 
     def attach_metrics(self, registry=None):

@@ -102,3 +102,9 @@ class CrossDomainLinker:
         return {rec.entry_label: self.jump_table.entry_addr(d, rec.index)
                 for (d, _i), rec in self._exports.items()
                 for d in [rec.domain]}
+
+    def export_target(self, domain, name):
+        """Code byte address behind export *name* of *domain* (the jmp
+        destination of its slot), or None if not exported."""
+        rec = self._by_name.get((domain, name))
+        return None if rec is None else rec.target

@@ -169,6 +169,7 @@ class FlightRecorder:
         self.window = window
         self.layout = None
         self.memmap_provider = None
+        self.symbols = None    # extra name -> byte addr map, or callable
         self.reports = []
 
     # ------------------------------------------------------------------
@@ -313,13 +314,25 @@ class FlightRecorder:
 
     # ------------------------------------------------------------------
     def _symbols_by_addr(self):
+        sources = []
         program = getattr(self.machine, "program", None)
         symbols = getattr(program, "symbols", None)
-        if not symbols:
+        if symbols:
+            sources.append(symbols)
+        extra = self.symbols
+        if callable(extra):
+            try:
+                extra = extra()
+            except Exception:
+                extra = None
+        if extra:
+            sources.append(extra)
+        if not sources:
             return None
         out = {}
-        for name, addr in symbols.items():
-            out.setdefault(addr, name)
+        for symbols in sources:
+            for name, addr in symbols.items():
+                out.setdefault(addr, name)
         return out
 
     def _instr_window(self):

@@ -151,6 +151,12 @@ class MetricsRegistry:
         if unit is not None:
             self.gauge("safe_stack_redirected_pushes").set(
                 unit.redirected_pushes)
+            base = unit.floor
+            if base is not None and unit.high_water:
+                # occupancy in bytes at the deepest point — what the
+                # static safe-stack bound must cover
+                self.gauge("safe_stack_high_water").set(
+                    max(unit.high_water - base, 0))
         return self
 
     # ------------------------------------------------------------------

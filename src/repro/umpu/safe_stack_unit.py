@@ -42,6 +42,10 @@ class SafeStackUnit(BusInterposer):
         self.memory = memory
         self.redirected_pushes = 0
         self.redirected_pops = 0
+        #: highest safe_stack_ptr ever reached (byte address past the
+        #: deepest frame) — the runtime high-water mark the static
+        #: occupancy bound is cross-checked against
+        self.high_water = 0
         #: lowest address the safe stack may reach (set by the runtime;
         #: defaults to colliding with SP only)
         self.floor = None
@@ -55,6 +59,8 @@ class SafeStackUnit(BusInterposer):
             raise SafeStackOverflow(ptr, self.memory.sp)
         self.memory.write_data(ptr, value & 0xFF)
         self.regs.safe_stack_ptr = ptr + 1
+        if ptr + 1 > self.high_water:
+            self.high_water = ptr + 1
 
     def pop_byte(self):
         ptr = self.regs.safe_stack_ptr - 1

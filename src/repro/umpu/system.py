@@ -55,7 +55,8 @@ class UmpuSystem:
         # the SfiLayout knows heap/safe-stack bounds and the trusted
         # cells, so fault reports classify regions more precisely than
         # the bare hardware layout would
-        self.machine.attach_forensics(layout=self.layout)
+        self.machine.attach_forensics(layout=self.layout,
+                                      symbols=self.symbol_map)
         self.jump_table = JumpTable(
             base=self.layout.jt_base,
             ndomains=self.layout.ndomains,
@@ -114,6 +115,21 @@ class UmpuSystem:
             for export, addr in module.exports.items():
                 syms["JT_{}_{}".format(module.name.upper(),
                                        export.upper())] = addr
+        return syms
+
+    def symbol_map(self):
+        """Whole-image symbol map: runtime labels, jump-table slot
+        labels (``jt_d<n>_<export>``) and module export code addresses
+        (``<module>.<export>``) — what the disassembler, the fault
+        forensics windows and harbor-lint symbolize against."""
+        syms = dict(self.runtime.symbols)
+        syms.update(self.linker.symbols())
+        for module in self.modules.values():
+            for export in module.exports:
+                target = self.linker.export_target(module.domain, export)
+                if target is not None:
+                    syms.setdefault(
+                        "{}.{}".format(module.name, export), target)
         return syms
 
     # ------------------------------------------------------------------
