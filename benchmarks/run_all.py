@@ -40,6 +40,7 @@ MODULES = [
     ("bench_ablation_blocks", "Ablation: block size"),
     ("bench_safe_stack_depth", "Safe-stack sizing"),
     ("bench_verifier_space", "Verifier design space"),
+    ("bench_elision", "Proof-directed check elision"),
 ]
 
 

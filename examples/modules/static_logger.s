@@ -1,0 +1,57 @@
+; A logger module written against its *static data span* — the
+; page-aligned, boot-pinned region SDATA_D0 the layout carves from the
+; top of the heap when static_data_bytes > 0.  Loaded through
+; harbor-opt (or SfiSystem.load_module(..., elide=True)) the prover
+; shows every store below stays inside the span on every path, so the
+; run-time check stubs are elided and recorded in the ElisionManifest:
+;
+;   python -m repro.cli opt \
+;       examples/modules/static_logger.s:logger_fill,logger_set,logger_tally \
+;       --static-data 256 -o static_logger.manifest.json
+;
+; (name the exports: the CLI's "export every label" default would turn
+; the internal lf_loop label into a jump-table entry, forcing the loop
+; head to an unknown-registers state and keeping its check)
+;
+; The SDATA_D0 symbol is predefined by the loader's kernel symbol map
+; (like the KERNEL_* entries) whenever the layout has static spans.
+;
+; Two provable idioms, one deliberate non-idiom:
+;
+; * logger_fill re-pins the pointer high byte *inside* the loop — the
+;   abstract interpreter's byte-interval domain then proves X stays in
+;   the SDATA_D0 page across the back edge (without the re-pin, the
+;   post-increment honestly straddles two pages and the check stays);
+; * logger_set masks the index with andi before adding it to the
+;   page-aligned base — interval arithmetic bounds the target to the
+;   first 64 bytes of the span;
+; * logger_tally stores through an unconstrained heap pointer, so its
+;   check is *kept*: elision is per-site, not per-module.
+
+logger_fill:
+    ldi r26, lo8(SDATA_D0)
+    ldi r27, hi8(SDATA_D0)
+    ldi r24, 0xA5
+    ldi r25, 16
+lf_loop:
+    ldi r27, hi8(SDATA_D0) ; re-pin the page: loop invariant for absint
+    st X+, r24             ; provably in-domain -> check elided
+    dec r25
+    brne lf_loop
+    ldi r24, 1
+    ldi r25, 0
+    ret
+
+logger_set:
+    andi r24, 0x3F         ; index into the first 64 span bytes
+    ldi r30, lo8(SDATA_D0)
+    ldi r31, hi8(SDATA_D0)
+    add r30, r24           ; page-aligned base: no carry possible
+    st Z, r22              ; provably in-domain -> check elided
+    ret
+
+logger_tally:
+    ldi r26, 0x40          ; X -> a heap block (dynamic ownership)
+    ldi r27, 0x06
+    st X, r24              ; not provable -> checked store kept
+    ret

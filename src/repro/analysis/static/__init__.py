@@ -22,21 +22,42 @@ from repro.analysis.static.diagnostics import (
     rule,
     write_report,
 )
+from repro.analysis.static.elision import (
+    PROOF_FAULTING,
+    PROOF_IN_DOMAIN,
+    PROOF_UNKNOWN,
+    ElisionManifest,
+    StoreProof,
+    StoreProver,
+    build_manifest,
+    image_checksum,
+    runtime_call_models,
+    verify_manifest,
+)
 from repro.analysis.static.image import ImageModel, ModuleRegion
 
 __all__ = [
     "Diagnostic",
     "DiagnosticsEngine",
+    "ElisionManifest",
     "ImageAnalyzer",
     "ImageModel",
     "ImageReport",
     "ModuleRegion",
+    "PROOF_FAULTING",
+    "PROOF_IN_DOMAIN",
+    "PROOF_UNKNOWN",
     "RegionCFG",
     "RULES",
     "Rule",
     "StackBoundReport",
+    "StoreProof",
+    "StoreProver",
     "analyze_image",
+    "build_manifest",
+    "image_checksum",
     "lint_system",
     "rule",
-    "write_report",
+    "runtime_call_models",
+    "verify_manifest",
 ]

@@ -29,6 +29,18 @@ TOP = None
 #: changes a classification).
 MAX_INTERVAL = 4096
 
+#: re-join a block's in-state this many times before *widening* the
+#: unstable bounds to the full byte range.  Three rounds lets short
+#: counting patterns settle exactly; anything still moving is a loop.
+WIDEN_DELAY = 3
+
+#: decreasing (narrowing) iterations applied after the widened fixpoint;
+#: each round is one application of the transfer functions from the
+#: post-fixpoint, which is sound regardless of monotonicity (if X
+#: over-approximates every concrete behavior, so does F(X) joined with
+#: the entry seeds) and recovers precision widening threw away.
+NARROW_ROUNDS = 2
+
 #: registers an AVR callee may clobber (avr-gcc ABI call-clobbered set);
 #: joined to top across call instructions.
 CALL_CLOBBERED = (0, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 30, 31)
@@ -65,6 +77,61 @@ def join_state(a, b):
     return out
 
 
+def widen_value(old, new):
+    """Classic bound-stable widening: keep the bounds that did not move,
+    jump the ones that did straight to the byte extreme.
+
+    ``new`` is the join of ``old`` with fresh flow, so ``old ⊑ new``; a
+    bound that moved once is assumed to keep moving (a loop-carried
+    update) and is widened to 0 / 0xFF.  The result still over-
+    approximates ``new``, and since each register's value can only be
+    widened twice (one per bound) before reaching (0, 0xFF), the
+    ascending chain is finite and the fixpoint terminates.
+    """
+    if old is TOP or new is TOP or old == new:
+        return new
+    olo, ohi = _as_range(old)
+    nlo, nhi = _as_range(new)
+    lo = nlo if nlo >= olo else 0
+    hi = nhi if nhi <= ohi else 0xFF
+    return lo if lo == hi else (lo, hi)
+
+
+def widen_state(old, new):
+    """Widen ``old`` by ``new`` (``new`` = join(old, flow)) per register."""
+    out = {}
+    for reg, val in new.items():
+        widened = widen_value(old.get(reg, TOP), val)
+        if widened is not TOP:
+            out[reg] = widened
+    return out
+
+
+def value_add(val, delta, bits=16):
+    """Shift an abstract value by a constant; TOP on wraparound."""
+    if val is TOP:
+        return TOP
+    mask = (1 << bits) - 1
+    if isinstance(val, int):
+        return (val + delta) & mask
+    lo, hi = val[0] + delta, val[1] + delta
+    if lo < 0 or hi > mask:
+        return TOP      # interval wrapped: no longer contiguous
+    return (lo, hi)
+
+
+def value_sum(a, b, bits=16):
+    """Abstract sum of two abstract values (e.g. pointer + displacement)."""
+    if a is TOP or b is TOP:
+        return TOP
+    alo, ahi = _as_range(a)
+    blo, bhi = _as_range(b)
+    lo, hi = alo + blo, ahi + bhi
+    if hi > (1 << bits) - 1 or hi - lo + 1 > MAX_INTERVAL:
+        return TOP
+    return lo if lo == hi else (lo, hi)
+
+
 def get_pair(state, lo_reg):
     """16-bit value of the (lo_reg, lo_reg+1) pair, or TOP/interval."""
     lo = state.get(lo_reg)
@@ -95,8 +162,14 @@ def set_pair(state, lo_reg, value):
         state[lo_reg + 1] = (lo >> 8) & 0xFF
         state[lo_reg] = (lo & 0xFF, hi & 0xFF)
     else:
-        state.pop(lo_reg, None)
-        state.pop(lo_reg + 1, None)
+        # page-crossing interval: the low bytes wrap, so the widest
+        # sound per-byte facts are "any byte" low and the high-byte
+        # interval.  Keeping these (instead of dropping the pair)
+        # preserves page-pinned loop invariants: a loop that reloads
+        # the high byte (ldi r27, hi8(...)) recovers the full pair.
+        state[lo_reg] = (0, 0xFF)
+        hi_lo, hi_hi = (lo >> 8) & 0xFF, (hi >> 8) & 0xFF
+        state[lo_reg + 1] = hi_lo if hi_lo == hi_hi else (hi_lo, hi_hi)
 
 
 def _set(state, reg, value):
@@ -114,11 +187,18 @@ def _const_byte_op(state, d, k, fn):
         _set(state, d, TOP)
 
 
-def transfer(state, line):
+def transfer(state, line, call_models=None):
     """Apply one instruction to *state* in place.
 
     Sound over-approximation: anything not modeled sets its destination
     to top; memory is not modeled at all (loads always produce top).
+
+    *call_models* maps static call-target byte addresses to a
+    ``(ptr_lo_reg, delta)`` effect for callees with a stronger contract
+    than the avr-gcc clobber set — the Harbor store stubs preserve every
+    register except the architectural pointer side effect of their
+    addressing mode (see the :mod:`repro.sfi.runtime_asm` register
+    conventions).  An unmodeled call clobbers ``CALL_CLOBBERED``.
     """
     instr = line.instr
     if instr is None:
@@ -144,13 +224,29 @@ def transfer(state, line):
                   "eor": lambda x, y: x ^ y,
                   "sub": lambda x, y: x - y}[key]
             state[ops[0]] = fn(a, b) & 0xFF
+        elif key == "add" and a is not TOP and b is not TOP:
+            # interval add; TOP when the carry-out is possible (the
+            # wrapped result is no longer a contiguous byte interval)
+            _set(state, ops[0], value_sum(a, b, bits=8))
         else:
             _set(state, ops[0], TOP)
-    elif key in ("subi", "andi", "ori"):
-        fn = {"subi": lambda x, k: x - k,
-              "andi": lambda x, k: x & k,
-              "ori": lambda x, k: x | k}[key]
-        _const_byte_op(state, ops[0], ops[1], fn)
+    elif key == "subi":
+        val = state.get(ops[0])
+        if isinstance(val, int):
+            state[ops[0]] = (val - ops[1]) & 0xFF
+        else:
+            # interval subtract; TOP when a borrow is possible
+            _set(state, ops[0], value_add(val, -ops[1], bits=8))
+    elif key == "andi":
+        val = state.get(ops[0])
+        if isinstance(val, int):
+            state[ops[0]] = val & ops[1]
+        else:
+            # x & K is always within [0, K] whatever x was — the mask
+            # idiom that makes bounded-index stores provable
+            state[ops[0]] = (0, ops[1]) if ops[1] else 0
+    elif key == "ori":
+        _const_byte_op(state, ops[0], ops[1], lambda x, k: x | k)
     elif key == "sbci":
         # carry not modeled: constant only if the preceding subi did not
         # borrow is unknowable here, so the result is top unless K == 0
@@ -158,18 +254,14 @@ def transfer(state, line):
         # keep it simple and sound: top.
         _set(state, ops[0], TOP)
     elif key == "inc":
-        _const_byte_op(state, ops[0], 0, lambda x, _k: x + 1)
+        _set(state, ops[0], value_add(state.get(ops[0]), 1, bits=8))
     elif key == "dec":
-        _const_byte_op(state, ops[0], 0, lambda x, _k: x - 1)
+        _set(state, ops[0], value_add(state.get(ops[0]), -1, bits=8))
     elif key in ("com", "neg", "swap", "asr", "lsr", "ror", "bld"):
         _set(state, ops[0], TOP)
     elif key in ("adiw", "sbiw"):
-        pair = get_pair(state, ops[0])
-        if isinstance(pair, int):
-            delta = ops[1] if key == "adiw" else -ops[1]
-            set_pair(state, ops[0], (pair + delta) & 0xFFFF)
-        else:
-            set_pair(state, ops[0], TOP)
+        delta = ops[1] if key == "adiw" else -ops[1]
+        set_pair(state, ops[0], value_add(get_pair(state, ops[0]), delta))
     elif kind == "load" or key in ("lds", "in", "pop"):
         if ops:
             _set(state, ops[0], TOP)
@@ -181,11 +273,33 @@ def transfer(state, line):
     elif kind == "store":
         _ptr_side_effect(state, instr)
     elif kind == "call":
-        for reg in CALL_CLOBBERED:
-            state.pop(reg, None)
+        model = _call_model(line, call_models)
+        if model is not None:
+            ptr_lo, delta = model
+            if ptr_lo is not None and delta:
+                set_pair(state, ptr_lo,
+                         value_add(get_pair(state, ptr_lo), delta))
+        else:
+            for reg in CALL_CLOBBERED:
+                state.pop(reg, None)
     # everything else (cp/cpi/cpc, push, out, sbi/cbi, branches, nop,
     # flag ops) leaves the register state unchanged
     return state
+
+
+def _call_model(line, call_models):
+    """Effect model for a statically-resolved call target, or None."""
+    if not call_models:
+        return None
+    key = line.instr.key
+    ops = line.instr.operands
+    if key == "call":
+        target = ops[0] * 2
+    elif key == "rcall":
+        target = line.byte_addr + 2 + ops[0] * 2
+    else:
+        return None     # icall: target unknown, full clobber
+    return call_models.get(target)
 
 
 def _ptr_side_effect(state, instr):
@@ -196,19 +310,15 @@ def _ptr_side_effect(state, instr):
         return
     lo_reg = {"X": 26, "Y": 28, "Z": 30}[ptr]
     if modes.get("post_inc"):
-        pair = get_pair(state, lo_reg)
-        set_pair(state, lo_reg,
-                 (pair + 1) & 0xFFFF if isinstance(pair, int) else TOP)
+        set_pair(state, lo_reg, value_add(get_pair(state, lo_reg), 1))
     elif modes.get("pre_dec"):
-        pair = get_pair(state, lo_reg)
-        set_pair(state, lo_reg,
-                 (pair - 1) & 0xFFFF if isinstance(pair, int) else TOP)
+        set_pair(state, lo_reg, value_add(get_pair(state, lo_reg), -1))
 
 
 # =====================================================================
 # Fixpoint over a RegionCFG
 # =====================================================================
-def analyze_cfg(cfg, entry_states=None):
+def analyze_cfg(cfg, entry_states=None, call_models=None, stats=None):
     """Run the fixpoint; returns ``{block_start: in_state}``.
 
     *entry_states* maps block starts to their boundary state (defaults
@@ -217,54 +327,118 @@ def analyze_cfg(cfg, entry_states=None):
     reached by calls start at top (the caller's registers are not the
     callee's contract — except that this also keeps the analysis sound
     without an interprocedural pass).
+
+    Loop-carried register updates terminate through widening: once a
+    block's in-state has been re-joined :data:`WIDEN_DELAY` times, the
+    moving bounds jump to the byte extremes (finite ascending chain),
+    then :data:`NARROW_ROUNDS` decreasing iterations recover the
+    precision widening discarded where flow permits.
+
+    *call_models* is passed through to :func:`transfer`.  *stats*, if
+    given, is filled with ``iterations``, ``widened`` and ``gave_up``.
     """
     in_states = {addr: None for addr in cfg.blocks}
+    seeds = {}
     worklist = []
     for addr in sorted(cfg.blocks):
         base = (entry_states or {}).get(addr)
         if base is not None or addr == cfg.start:
-            in_states[addr] = dict(base or {})
-            worklist.append(addr)
-    if not worklist:     # nothing declared: seed every block at top
-        for addr in sorted(cfg.blocks):
-            in_states[addr] = {}
-            worklist.append(addr)
+            seeds[addr] = dict(base or {})
+    if not seeds:        # nothing declared: seed every block at top
+        for addr in cfg.blocks:
+            seeds[addr] = {}
     # call targets are entered with top state (callers vary)
-    call_targets = {site.target for site in cfg.calls
-                    if site.target in cfg.blocks}
-    for addr in sorted(call_targets):
-        in_states[addr] = {}
-        if addr not in worklist:
-            worklist.append(addr)
+    for site in cfg.calls:
+        if site.target in cfg.blocks:
+            seeds[site.target] = {}
+    for addr in sorted(seeds):
+        in_states[addr] = dict(seeds[addr])
+        worklist.append(addr)
+
+    def block_out(addr):
+        out = dict(in_states[addr])
+        for line in cfg.blocks[addr].lines:
+            transfer(out, line, call_models)
+        return out
 
     iterations = 0
-    limit = max(64, 16 * len(cfg.blocks))
+    widened = 0
+    join_counts = {}
+    limit = max(256, 48 * len(cfg.blocks))
+    gave_up = False
     while worklist:
         iterations += 1
+        if iterations > limit:
+            # backstop only — widening makes every chain finite; give up
+            # soundly (everything top) if it is somehow exceeded
+            gave_up = True
+            in_states = {addr: {} for addr in cfg.blocks}
+            break
         addr = worklist.pop(0)
-        state = in_states.get(addr)
-        if state is None:
+        if in_states.get(addr) is None:
             continue
-        out = dict(state)
-        for line in cfg.blocks[addr].lines:
-            transfer(out, line)
+        out = block_out(addr)
         for succ in cfg.blocks[addr].succs:
-            if succ in call_targets:
-                continue   # entered at top already
+            if succ in seeds and not seeds[succ]:
+                continue   # entered at top already (seed is top state)
             prev = in_states.get(succ)
+            # a seeded block starts at its seed, so incremental joins
+            # already fold the boundary state in
             joined = out if prev is None else join_state(prev, out)
             if prev is None or joined != prev:
+                if prev is not None:
+                    count = join_counts.get(succ, 0) + 1
+                    join_counts[succ] = count
+                    if count > WIDEN_DELAY:
+                        joined = widen_state(prev, joined)
+                        widened += 1
+                        if joined == prev:
+                            continue
                 in_states[succ] = dict(joined)
                 if succ not in worklist:
                     worklist.append(succ)
-        if iterations > limit:
-            # pathological join chain: give up soundly — everything top
-            return {addr: {} for addr in cfg.blocks}
+
+    if not gave_up and NARROW_ROUNDS:
+        # decreasing iterations from the post-fixpoint: recompute each
+        # reachable in-state as seed ⊔ (join of predecessor outs) using
+        # the *previous* round's states.  Sound whether or not the
+        # result shrinks monotonically — every round over-approximates
+        # the concrete collecting semantics by induction from the
+        # widened fixpoint.
+        preds = {addr: [] for addr in cfg.blocks}
+        for addr, block in cfg.blocks.items():
+            for succ in block.succs:
+                if succ in preds:
+                    preds[succ].append(addr)
+        for _round in range(NARROW_ROUNDS):
+            outs = {addr: block_out(addr)
+                    for addr in cfg.blocks if in_states.get(addr) is not None}
+            new_states = {}
+            for addr in cfg.blocks:
+                if addr in seeds and not seeds[addr]:
+                    new_states[addr] = {}
+                    continue
+                parts = [outs[p] for p in preds[addr] if p in outs]
+                if addr in seeds:
+                    parts.append(seeds[addr])
+                if not parts:
+                    new_states[addr] = in_states.get(addr)
+                    continue
+                acc = parts[0]
+                for part in parts[1:]:
+                    acc = join_state(acc, part)
+                new_states[addr] = dict(acc)
+            in_states = new_states
+
+    if stats is not None:
+        stats["iterations"] = iterations
+        stats["widened"] = widened
+        stats["gave_up"] = gave_up
     return {addr: state for addr, state in in_states.items()
             if state is not None}
 
 
-def state_at(cfg, in_states, byte_addr):
+def state_at(cfg, in_states, byte_addr, call_models=None):
     """Abstract state immediately **before** the instruction at
     *byte_addr* (replays the containing block's prefix)."""
     block = cfg.block_of(byte_addr)
@@ -274,7 +448,7 @@ def state_at(cfg, in_states, byte_addr):
     for line in block.lines:
         if line.byte_addr == byte_addr:
             return state
-        transfer(state, line)
+        transfer(state, line, call_models)
     return {}
 
 

@@ -42,6 +42,12 @@ from repro.analysis.static.cfg import (
     static_target,
 )
 from repro.analysis.static.diagnostics import DiagnosticsEngine
+from repro.analysis.static.elision import (
+    PROOF_IN_DOMAIN,
+    StoreProver,
+    runtime_call_models,
+    verify_manifest,
+)
 
 #: store keys a sandboxed module may not contain raw
 STORE_KEYS = frozenset({
@@ -114,12 +120,21 @@ class ExportOverhead:
     xdom_calls: int = 0
     activations: int = 0
     has_loops: bool = False
+    #: checked stores on the worst path whose check the prover showed
+    #: redundant (elidable): the pre/post-elision delta of the estimate
+    provable_stores: int = 0
 
     @property
     def est_cycles(self):
         return (self.checked_stores * SFI_EVENT_CYCLES["checked_store"] +
                 self.xdom_calls * SFI_EVENT_CYCLES["xdom_call"] +
                 self.activations * SFI_EVENT_CYCLES["save_restore"])
+
+    @property
+    def est_cycles_post(self):
+        """The Table-3 estimate after eliding every provable check."""
+        return self.est_cycles - \
+            self.provable_stores * SFI_EVENT_CYCLES["checked_store"]
 
 
 @dataclass
@@ -131,6 +146,10 @@ class RegionOverhead:
     xdom_sites: int = 0
     save_sites: int = 0
     restore_sites: int = 0
+    #: check-stub sites proved in-domain-static (elidable)
+    provable_sites: int = 0
+    #: raw stores already elided under an in-domain proof
+    elided_sites: int = 0
     exports: list = field(default_factory=list)   # ExportOverhead
 
 
@@ -168,6 +187,8 @@ class ImageReport:
                 "xdom_sites": region.xdom_sites,
                 "save_sites": region.save_sites,
                 "restore_sites": region.restore_sites,
+                "provable_sites": region.provable_sites,
+                "elided_sites": region.elided_sites,
                 "exports": [{
                     "name": e.name,
                     "checked_stores": e.checked_stores,
@@ -175,6 +196,8 @@ class ImageReport:
                     "activations": e.activations,
                     "has_loops": e.has_loops,
                     "est_cycles": e.est_cycles,
+                    "provable_stores": e.provable_stores,
+                    "est_cycles_post": e.est_cycles_post,
                 } for e in region.exports],
             })
         return doc
@@ -204,18 +227,20 @@ class ImageReport:
         for region in self.overhead:
             lines.append(
                 "overhead {}: {} checked-store site(s), {} xdom site(s), "
-                "{} save / {} restore".format(
+                "{} save / {} restore; {} provably-safe check(s), "
+                "{} already elided".format(
                     region.region, region.store_sites, region.xdom_sites,
-                    region.save_sites, region.restore_sites))
+                    region.save_sites, region.restore_sites,
+                    region.provable_sites, region.elided_sites))
             for export in region.exports:
                 lines.append(
                     "  export {}: worst path {} checked store(s), "
                     "{} xdom call(s), {} activation(s){} "
-                    "(~{} overhead cycles)".format(
+                    "(~{} overhead cycles, ~{} post-elision)".format(
                         export.name, export.checked_stores,
                         export.xdom_calls, export.activations,
                         " [loops elided]" if export.has_loops else "",
-                        export.est_cycles))
+                        export.est_cycles, export.est_cycles_post))
         return "\n".join(lines)
 
 
@@ -247,6 +272,27 @@ class ImageAnalyzer:
         #: to_domain, site_addr)
         self.xdom_edges = []
         self.unresolved_sites = 0
+        #: absint models of the runtime stubs' pointer side effects
+        self.call_models = runtime_call_models(syms)
+        self._proofs = {}          # region name -> {pc: StoreProof}
+
+    def _region_entries(self, region):
+        """Addresses execution can enter the region at (exports plus
+        jump-table targets) — absint/prover fixpoint seeds."""
+        return sorted(set(region.entries.values()) |
+                      set(self.model.jt_targets_into(region)))
+
+    def region_proofs(self, region):
+        """(Cached) :class:`StoreProver` classification of every store
+        site in an SFI region."""
+        proofs = self._proofs.get(region.name)
+        if proofs is None:
+            prover = StoreProver(self.model.layout, self.model.symbols,
+                                 region.domain)
+            proofs = prover.prove_cfg(self.model.cfg_for(region),
+                                      entries=self._region_entries(region))
+            self._proofs[region.name] = proofs
+        return proofs
 
     def _name(self, byte_addr):
         return self.symbols_by_addr.get(
@@ -287,7 +333,12 @@ class ImageAnalyzer:
                 "control transfer into the middle of an instruction "
                 "(target 0x{:04x})".format(target),
                 byte_addr=source, region=region.name, domain=region.domain)
-        in_states = absint.analyze_cfg(cfg)
+        entry_states = {a: {} for a in self._region_entries(region)
+                        if a in cfg.blocks}
+        in_states = absint.analyze_cfg(cfg, entry_states=entry_states
+                                       or None,
+                                       call_models=self.call_models)
+        manifest_sites = self._check_manifest(region, cfg)
         # internal branch/jump/skip targets: a ret reached this way must
         # still be preceded by the restore stub on *that* path
         branched_to = set()
@@ -300,24 +351,50 @@ class ImageAnalyzer:
             prev_line[line.byte_addr] = previous
             previous = line
         for block in cfg.blocks.values():
-            state = dict(in_states.get(block.start, {}))
+            state = dict(in_states.get(block.start) or {})
             for line in block.lines:
                 if line.instr is not None:
                     self._check_sfi_line(region, cfg, line, state,
-                                         prev_line, branched_to)
-                absint.transfer(state, line)
+                                         prev_line, branched_to,
+                                         manifest_sites)
+                absint.transfer(state, line, self.call_models)
+
+    def _check_manifest(self, region, cfg):
+        """Validate the region's elision manifest (if it carries one)
+        against the live flash; returns ``{pc: site}`` of the admitted
+        raw-store sites (empty when absent or rejected — rejection emits
+        HL014 per problem and *every* raw store reverts to HL001)."""
+        manifest = getattr(region, "manifest", None)
+        if manifest is None:
+            return {}
+        problems = verify_manifest(
+            self.model.read_word, self.model.layout, self.model.symbols,
+            manifest, entries=self._region_entries(region),
+            proofs=self.region_proofs(region), cfg=cfg)
+        for message, byte_addr in problems:
+            self.diags.emit("HL014", message, byte_addr=byte_addr,
+                            region=region.name, domain=region.domain)
+        if problems:
+            return {}
+        return {site.pc: site for site in manifest.sites}
 
     def _check_sfi_line(self, region, cfg, line, state, prev_line,
-                        branched_to):
+                        branched_to, manifest_sites):
         key = line.instr.key
         addr = line.byte_addr
         diags = self.diags
         if key in STORE_KEYS:
-            diags.emit(
-                "HL001",
-                "raw store ({}) not routed through a check stub{}".format(
-                    line.text, self._store_target_note(line, state)),
-                byte_addr=addr, region=region.name, domain=region.domain)
+            site = manifest_sites.get(addr)
+            if site is not None and site.key == key:
+                pass   # proof-carrying raw store: manifest re-proved it
+            else:
+                diags.emit(
+                    "HL001",
+                    "raw store ({}) not routed through a check stub{}"
+                    .format(line.text,
+                            self._store_target_note(line, state)),
+                    byte_addr=addr, region=region.name,
+                    domain=region.domain)
         elif key in FORBIDDEN_KEYS:
             diags.emit(
                 "HL005", "forbidden instruction {!r}".format(key),
@@ -721,6 +798,16 @@ class ImageAnalyzer:
     def _overhead(self, region):
         cfg = self.model.cfg_for(region)
         over = RegionOverhead(region=region.name)
+        proofs = self.region_proofs(region)
+        provable = set()
+        for pc, proof in proofs.items():
+            if proof.kind != PROOF_IN_DOMAIN:
+                continue
+            if proof.key.startswith("stub:"):
+                over.provable_sites += 1
+                provable.add(pc)
+            else:
+                over.elided_sites += 1
         for site in cfg.calls:
             if site.target in self.store_stub_addrs:
                 over.store_sites += 1
@@ -738,24 +825,27 @@ class ImageAnalyzer:
         cyclic = {n for scc in find_cycles(graph) for n in scc}
         memo = {}
         for name, entry in sorted(roots.items()):
-            stores, xdoms, acts, loops = self._worst_path(
-                cfg, functions, graph, cyclic, entry, memo)
+            stores, prov, xdoms, acts, loops = self._worst_path(
+                cfg, functions, graph, cyclic, entry, memo, provable)
             over.exports.append(ExportOverhead(
-                name=name, checked_stores=stores, xdom_calls=xdoms,
-                activations=acts, has_loops=loops))
+                name=name, checked_stores=stores, provable_stores=prov,
+                xdom_calls=xdoms, activations=acts, has_loops=loops))
         return over
 
-    def _worst_path(self, cfg, functions, graph, cyclic, entry, memo):
-        """Worst-case (checked stores, xdom calls, activations, loops?)
-        over any acyclic CFG path of the function at *entry*, callee
-        totals included (memoized; call-graph cycles contribute their
-        own HL008 and are skipped here)."""
+    def _worst_path(self, cfg, functions, graph, cyclic, entry, memo,
+                    provable=frozenset()):
+        """Worst-case (checked stores, provable stores, xdom calls,
+        activations, loops?) over any acyclic CFG path of the function
+        at *entry*, callee totals included (memoized; call-graph cycles
+        contribute their own HL008 and are skipped here).  *provable*
+        holds the byte addresses of check-stub sites the prover showed
+        elidable."""
         if entry in memo:
             return memo[entry]
         if entry in cyclic or entry not in functions:
-            memo[entry] = (0, 0, 1, True)
+            memo[entry] = (0, 0, 0, 1, True)
             return memo[entry]
-        memo[entry] = (0, 0, 1, True)   # placeholder for safety
+        memo[entry] = (0, 0, 0, 1, True)   # placeholder for safety
         info = functions[entry]
         sites_by_block = {}
         for site in info.calls:
@@ -764,20 +854,23 @@ class ImageAnalyzer:
         loops = [False]
 
         def block_weight(block_start):
-            stores = xdoms = acts = 0
+            stores = prov = xdoms = acts = 0
             for site in sites_by_block.get(block_start, ()):
                 if site.target in self.store_stub_addrs:
                     stores += 1
+                    if site.byte_addr in provable:
+                        prov += 1
                 elif site.target == self.xdom_addr:
                     xdoms += 1
                 elif site.target in functions:
                     sub = self._worst_path(cfg, functions, graph, cyclic,
-                                           site.target, memo)
+                                           site.target, memo, provable)
                     stores += sub[0]
-                    xdoms += sub[1]
-                    acts += sub[2]
-                    loops[0] = loops[0] or sub[3]
-            return stores, xdoms, acts
+                    prov += sub[1]
+                    xdoms += sub[2]
+                    acts += sub[3]
+                    loops[0] = loops[0] or sub[4]
+            return stores, prov, xdoms, acts
 
         block_memo = {}
 
@@ -786,24 +879,25 @@ class ImageAnalyzer:
                 return block_memo[block_start]
             if block_start in visited:
                 loops[0] = True         # back edge: elide the cycle
-                return (0, 0, 0)
+                return (0, 0, 0, 0)
             block = cfg.blocks.get(block_start)
             if block is None or block_start not in info.blocks:
-                return (0, 0, 0)
+                return (0, 0, 0, 0)
             visited.add(block_start)
-            stores, xdoms, acts = block_weight(block_start)
-            best = (0, 0, 0)
+            stores, prov, xdoms, acts = block_weight(block_start)
+            best = (0, 0, 0, 0)
             for succ in block.succs:
                 sub = walk(succ)
                 if sub > best:
                     best = sub
             visited.discard(block_start)
-            result = (stores + best[0], xdoms + best[1], acts + best[2])
+            result = (stores + best[0], prov + best[1], xdoms + best[2],
+                      acts + best[3])
             block_memo[block_start] = result
             return result
 
-        stores, xdoms, acts = walk(entry)
-        memo[entry] = (stores, xdoms, acts + 1, loops[0])
+        stores, prov, xdoms, acts = walk(entry)
+        memo[entry] = (stores, prov, xdoms, acts + 1, loops[0])
         return memo[entry]
 
     # ------------------------------------------------------------------

@@ -82,17 +82,35 @@ class RegionCFG:
         self.indirect_jumps = []  # byte addrs of ijmp
         self.undecodable = []    # byte addrs of .dw words
         self.bad_targets = []    # (target, from_addr) not on a boundary
+        self.data_spans = ()     # (lo, hi) byte ranges excluded as data
 
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, read_word, start, end, name="region",
-              extra_leaders=()):
+              extra_leaders=(), data_spans=()):
         """Disassemble ``[start, end)`` through *read_word* and build the
         CFG.  *extra_leaders* (export/entry byte addresses) force block
-        starts even when nothing in the region branches there."""
+        starts even when nothing in the region branches there.
+
+        *data_spans* are ``(lo, hi)`` byte ranges of known data (jump
+        tables, lookup tables, ``.dw`` constants) inside the region:
+        they are never disassembled — so their words cannot show up as
+        undecodable or dead blocks — and control never falls through
+        across them (code before a span must end in a jump/ret)."""
         cfg = cls(name, start, end)
-        cfg.lines = disassemble_flash(read_word, start // 2,
-                                      (end - start) // 2)
+        spans = []
+        for lo, hi in data_spans:
+            lo, hi = max(start, lo & ~1), min(end, (hi + 1) & ~1)
+            if lo < hi:
+                spans.append((lo, hi))
+        cfg.data_spans = tuple(sorted(spans))
+        cfg.lines = []
+        seg_lo = start
+        for lo, hi in cfg.data_spans + ((end, end),):
+            if seg_lo < lo:
+                cfg.lines.extend(disassemble_flash(
+                    read_word, seg_lo // 2, (lo - seg_lo) // 2))
+            seg_lo = max(seg_lo, hi)
         index_of = {}
         for i, line in enumerate(cfg.lines):
             cfg.boundaries.add(line.byte_addr)
@@ -141,9 +159,14 @@ class RegionCFG:
 
         # --- pass 2: blocks and edges --------------------------------
         block = None
+        prev_end = None
         for i, line in enumerate(cfg.lines):
-            if block is None or line.byte_addr in leaders:
-                if block is not None:
+            # a data span between this line and the previous one breaks
+            # fallthrough: control does not run off code into data
+            gap = prev_end is not None and line.byte_addr != prev_end
+            prev_end = line.byte_addr + 2 * len(line.words)
+            if block is None or line.byte_addr in leaders or gap:
+                if block is not None and not gap:
                     # fallthrough into the new leader
                     block.succs.append(line.byte_addr)
                 block = BasicBlock(start=line.byte_addr)
@@ -181,7 +204,7 @@ class RegionCFG:
                     block.succs.append(target)
                 elif not internal(target):
                     block.exits.append(("branch", target))
-                if after < end:
+                if after < end and after in cfg.boundaries:
                     block.succs.append(after)
                 close("branch")
                 block = None

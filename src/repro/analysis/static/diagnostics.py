@@ -29,6 +29,9 @@ SEVERITIES = ("error", "warning", "note")
 #: SARIF result levels per severity.
 _SARIF_LEVEL = {"error": "error", "warning": "warning", "note": "note"}
 
+#: Documentation page every rule anchor points into.
+RULE_DOC = "docs/static-analysis.md"
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -38,37 +41,106 @@ class Rule:
     slug: str       # "unchecked-store" — never renamed
     severity: str   # "error" | "warning" | "note"
     summary: str    # one-line description for catalogs and SARIF
+    full: str = ""  # full description (SARIF fullDescription text)
+
+    @property
+    def anchor(self):
+        """The docs heading anchor, e.g. ``hl001-unchecked-store``."""
+        return "{}-{}".format(self.code.lower(), self.slug)
+
+    @property
+    def help_uri(self):
+        """Stable documentation link (SARIF ``helpUri``)."""
+        return "{}#{}".format(RULE_DOC, self.anchor)
 
 
 #: The rule catalog.  Codes are append-only: a retired rule keeps its
 #: number (like fault-code slugs, these are wire format).
 RULES = tuple(Rule(*fields) for fields in (
     ("HL001", "unchecked-store", "error",
-     "store does not go through a runtime check stub"),
+     "store does not go through a runtime check stub",
+     "Every data-memory store in an untrusted module must be routed "
+     "through a Harbor check stub (hb_st_*), be covered by the inline "
+     "check template, or appear as a proved site in a checksum-bound "
+     "elision manifest.  A raw store satisfying none of these could "
+     "write another domain's state."),
     ("HL002", "direct-cross-domain-call", "error",
-     "cross-domain transfer bypasses hb_xdom_call"),
+     "cross-domain transfer bypasses hb_xdom_call",
+     "Control may only cross a domain boundary through hb_xdom_call, "
+     "which switches the current-domain byte and stack bound.  A direct "
+     "call or jump into the jump table (or another domain) would run "
+     "foreign code with the caller's store privileges."),
     ("HL003", "missing-restore-ret", "error",
-     "a ret path does not run the restore stub"),
+     "a ret path does not run the restore stub",
+     "Return addresses live on the protected safe stack; every ret in "
+     "an untrusted module must be immediately preceded by a call to "
+     "hb_restore_ret so the runtime pops and validates the address.  A "
+     "bare ret would consume an attacker-controlled word from the data "
+     "stack."),
     ("HL004", "mid-instruction-target", "error",
-     "control transfer into the middle of a 32-bit instruction"),
+     "control transfer into the middle of a 32-bit instruction",
+     "A branch, call, jump, or skip that lands inside a 32-bit "
+     "instruction (or between an inline check and its store) would "
+     "re-synchronize the instruction stream at an unverified byte "
+     "sequence, defeating the linear verifier."),
     ("HL005", "forbidden-instruction", "error",
-     "instruction is outside the sandboxed subset"),
+     "instruction is outside the sandboxed subset",
+     "Untrusted modules are limited to the sandboxed instruction "
+     "subset: no indirect jumps/calls, no break/reti/sleep/wdr, and no "
+     "direct manipulation of machine state the runtime owns."),
     ("HL006", "control-escape", "error",
-     "static control transfer leaves the module sandbox"),
+     "static control transfer leaves the module sandbox",
+     "Every static call, jump, and branch must target the module "
+     "itself or a runtime entry point.  Any other target executes "
+     "memory outside the sandbox with this domain's privileges."),
     ("HL007", "protected-io-write", "error",
-     "write to a protected or unapproved I/O register"),
+     "write to a protected or unapproved I/O register",
+     "Writes to SPL/SPH/SREG, the UMPU protection registers, or any "
+     "I/O register not on the module's approved list are rejected: "
+     "they could redirect the stack, disable protection, or drive "
+     "unapproved peripherals."),
     ("HL008", "recursion-cycle", "warning",
-     "call-graph cycle: static call depth is unbounded"),
+     "call-graph cycle: static call depth is unbounded",
+     "The safe-stack bound analysis needs an acyclic call graph to "
+     "compute a finite worst-case depth.  A recursion cycle makes the "
+     "static bound infinite; the runtime bound check still catches "
+     "overflow, but only at run time."),
     ("HL009", "safe-stack-bound-exceeded", "error",
-     "worst-case safe-stack occupancy exceeds the configured region"),
+     "worst-case safe-stack occupancy exceeds the configured region",
+     "The computed worst-case safe-stack usage (call depth times "
+     "per-frame cost, plus cross-domain frames) does not fit in the "
+     "region the layout reserves, so a deep call chain would fault at "
+     "run time."),
     ("HL010", "dead-code", "note",
-     "basic block unreachable from any export or jump-table entry"),
+     "basic block unreachable from any export or jump-table entry",
+     "Code that no export, entry, or jump-table slot can reach is "
+     "either leftover or evidence of a broken control-flow assumption; "
+     "it wastes flash and hides unverified paths.  Data words must be "
+     "declared as data spans so they are not flagged."),
     ("HL011", "undecodable-word", "error",
-     "flash word in a code region does not decode"),
+     "flash word in a code region does not decode",
+     "Every word of a code region must decode as an instruction — the "
+     "verifier cannot prove anything about bytes it cannot decode.  "
+     "Constant pools and jump-table data belong in declared data "
+     "spans, not code regions."),
     ("HL012", "unresolved-indirect-target", "warning",
-     "indirect transfer target not resolvable by abstract interpretation"),
+     "indirect transfer target not resolvable by abstract interpretation",
+     "An ijmp/icall whose pointer register the abstract interpreter "
+     "cannot pin to a known target set may transfer anywhere; the "
+     "runtime still confines it, but the static analysis loses "
+     "precision downstream of the site."),
     ("HL013", "bad-jump-table-entry", "error",
-     "jump-table entry malformed or targets a foreign domain"),
+     "jump-table entry malformed or targets a foreign domain",
+     "Each jump-table slot must be a well-formed trampoline whose "
+     "target lies inside the domain the slot belongs to; anything else "
+     "turns the cross-domain gateway into an escape hatch."),
+    ("HL014", "invalid-elision-manifest", "error",
+     "elision manifest stale, forged, or no longer provable",
+     "A proof-carrying image's elision manifest must be checksum-bound "
+     "to the exact flash words and every listed site must re-prove as "
+     "in-domain-static under the whole-image analyzer.  A stale or "
+     "forged manifest would let unchecked raw stores through the "
+     "verifier."),
 ))
 
 RULE_BY_CODE = {rule.code: rule for rule in RULES}
@@ -198,7 +270,11 @@ class DiagnosticsEngine:
         used = sorted(self.codes())
         rules = [{"id": code,
                   "name": RULE_BY_CODE[code].slug,
-                  "shortDescription": {"text": RULE_BY_CODE[code].summary}}
+                  "shortDescription": {"text": RULE_BY_CODE[code].summary},
+                  "fullDescription":
+                      {"text": RULE_BY_CODE[code].full
+                       or RULE_BY_CODE[code].summary},
+                  "helpUri": RULE_BY_CODE[code].help_uri}
                  for code in used]
         index = {code: i for i, code in enumerate(used)}
         results = []

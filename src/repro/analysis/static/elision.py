@@ -1,0 +1,385 @@
+"""Proof-directed check elision: the analyzer earns back cycles.
+
+PR 4's whole-image analyzer could already classify store targets
+against the :class:`~repro.sfi.layout.SfiLayout`; this module turns
+those classifications into *proofs* that individual run-time protection
+checks are unnecessary, in the spirit of analysis-time
+compartmentalization systems (UCCA, CompartOS): prove at verification
+time, switch the run-time mechanism off only where the proof holds.
+
+The provable target class is the layout's **static data spans** —
+per-domain, page-aligned regions carved from the top of the heap,
+pinned to their owning domain by ``hb_init`` and guarded against
+``hb_free`` / ``hb_change_own``, so their ownership is a build-time
+constant.  A store whose effective address provably stays inside the
+executing domain's own span passes the Harbor memory-map check on
+every run; routing it through ``hb_st_*`` (65 cycles, Table 3) buys
+nothing.  The elision pass re-rewrites the module with those checks
+removed and emits an :class:`ElisionManifest` — a machine-checkable
+record (schema v1) of every elided site with its interval evidence.
+The verifier and ``harbor-lint`` accept a raw store *only* when the
+manifest covers it **and** re-proving the site on the live image
+succeeds; a stale or forged manifest fails its checksum / re-proof and
+is rejected (rule HL014), so ``strict_lint`` load gates keep their
+guarantee: the image that runs is the image that was proved.
+
+Proof kinds
+-----------
+``in-domain-static``
+    The store's effective-address interval lies wholly inside the
+    executing domain's own static data span on every path.  The check
+    is redundant — elidable.
+``provably-faulting``
+    The interval lies wholly below the protected region or wholly
+    inside *another* domain's pinned span: the check always faults.
+    The check is **kept** (the fault is architecturally required);
+    the proof is reported so the analyzer can warn about it.
+``unknown``
+    Anything else (heap pointers, call-clobbered registers, intervals
+    that straddle regions).  The check is kept.
+"""
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.analysis.static import absint
+from repro.analysis.static.cfg import RegionCFG, static_target
+
+MANIFEST_SCHEMA = 1
+
+PROOF_IN_DOMAIN = "in-domain-static"
+PROOF_FAULTING = "provably-faulting"
+PROOF_UNKNOWN = "unknown"
+
+#: cycles one elided checked store saves per execution (the Table 3
+#: static model of ``hb_st_*``: marshal + call + hb_check + return).
+ELIDED_CHECK_CYCLES = 65
+
+#: Register-preservation contract of the runtime stubs (see the
+#: register conventions in :mod:`repro.sfi.runtime_asm`): every store /
+#: save / restore stub preserves all registers and SREG *except* the
+#: architectural pointer side effect of its addressing mode.  Values
+#: are ``(ptr_lo_reg, delta)``; ``(None, 0)`` is fully preserving.
+STUB_EFFECTS = {
+    "hb_st_x": (None, 0),
+    "hb_st_x_plus": (26, 1),
+    "hb_st_x_dec": (26, -1),
+    "hb_st_y_plus": (28, 1),
+    "hb_st_y_dec": (28, -1),
+    "hb_st_y_q": (None, 0),
+    "hb_st_z_plus": (30, 1),
+    "hb_st_z_dec": (30, -1),
+    "hb_st_z_q": (None, 0),
+    "hb_st_sts": (None, 0),
+    "hb_save_ret": (None, 0),
+    "hb_restore_ret": (None, 0),
+}
+
+#: Effective address of each store stub in terms of the abstract state
+#: at the call: ``(pointer_low_reg, bias, add_r19_displacement)``.
+#: Post-increment stubs store *before* bumping the pointer (EA = ptr);
+#: pre-decrement stubs store after (EA = ptr - 1).  ``hb_st_sts``
+#: receives its absolute address in X (materialized by the rewriter's
+#: ``ldi r26/r27`` pair).
+_STUB_EA = {
+    "hb_st_x": (26, 0, False),
+    "hb_st_x_plus": (26, 0, False),
+    "hb_st_x_dec": (26, -1, False),
+    "hb_st_y_plus": (28, 0, False),
+    "hb_st_y_dec": (28, -1, False),
+    "hb_st_y_q": (28, 0, True),
+    "hb_st_z_plus": (30, 0, False),
+    "hb_st_z_dec": (30, -1, False),
+    "hb_st_z_q": (30, 0, True),
+    "hb_st_sts": (26, 0, False),
+}
+
+#: raw store instruction keys and their EA recipe
+#: key -> (ptr_lo_reg or None, bias, displacement_operand_index or None)
+_RAW_EA = {
+    "st_x": (26, 0, None),
+    "st_xp": (26, 0, None),
+    "st_mx": (26, -1, None),
+    "st_yp": (28, 0, None),
+    "st_my": (28, -1, None),
+    "st_zp": (30, 0, None),
+    "st_mz": (30, -1, None),
+    "std_y": (28, 0, 0),
+    "std_z": (30, 0, 0),
+    "sts": (None, 0, None),
+}
+
+
+def runtime_call_models(runtime_symbols):
+    """absint call models (addr -> effect) for the runtime stubs."""
+    models = {}
+    for name, effect in STUB_EFFECTS.items():
+        addr = runtime_symbols.get(name)
+        if addr is not None:
+            models[addr] = effect
+    return models
+
+
+@dataclass
+class StoreProof:
+    """Classification of one store site with its interval evidence."""
+
+    pc: int          # byte address of the site (stub call or raw store)
+    key: str         # "stub:hb_st_x_plus" or the raw instruction key
+    kind: str        # PROOF_IN_DOMAIN / PROOF_FAULTING / PROOF_UNKNOWN
+    lo: int = 0      # effective-address interval evidence (inclusive)
+    hi: int = 0
+    rule: str = ""   # provenance of the classification
+
+    def to_dict(self):
+        return {"pc": self.pc, "key": self.key, "kind": self.kind,
+                "interval": [self.lo, self.hi], "rule": self.rule}
+
+    @classmethod
+    def from_dict(cls, data):
+        interval = data.get("interval", [0, 0])
+        return cls(pc=int(data["pc"]), key=str(data["key"]),
+                   kind=str(data["kind"]),
+                   lo=int(interval[0]), hi=int(interval[1]),
+                   rule=str(data.get("rule", "")))
+
+
+class StoreProver:
+    """Proves store sites of one domain's region against the layout."""
+
+    def __init__(self, layout, runtime_symbols, domain):
+        self.layout = layout
+        self.domain = domain
+        self.call_models = runtime_call_models(runtime_symbols)
+        self.stub_by_addr = {}
+        for name in _STUB_EA:
+            addr = runtime_symbols.get(name)
+            if addr is not None:
+                self.stub_by_addr[addr] = name
+
+    # ------------------------------------------------------------------
+    def prove_cfg(self, cfg, entries=(), stats=None):
+        """Run absint over *cfg* and classify every store site.
+
+        Returns ``{byte_addr: StoreProof}`` covering both check-stub
+        call sites and raw (already elided) stores.  *entries* seed the
+        fixpoint (export/entry block addresses); sites in unreachable
+        blocks get no proof — unreachable is not provably safe.
+        """
+        entry_states = {a: {} for a in entries if a in cfg.blocks}
+        in_states = absint.analyze_cfg(cfg, entry_states=entry_states or None,
+                                       call_models=self.call_models,
+                                       stats=stats)
+        proofs = {}
+        for addr in sorted(cfg.blocks):
+            if addr not in in_states:
+                continue
+            state = dict(in_states[addr])
+            for line in cfg.blocks[addr].lines:
+                if line.instr is not None:
+                    proof = self.prove_line(line, state)
+                    if proof is not None:
+                        proofs[line.byte_addr] = proof
+                    absint.transfer(state, line, self.call_models)
+        return proofs
+
+    def prove_line(self, line, state):
+        """Classify one line given the abstract state before it."""
+        key = line.instr.key
+        if key in ("call", "rcall"):
+            stub = self.stub_by_addr.get(static_target(line))
+            if stub is None:
+                return None
+            ea = self._stub_ea(stub, state)
+            return self._classify(line.byte_addr, "stub:" + stub, ea)
+        if key in _RAW_EA:
+            return self._classify(line.byte_addr, key,
+                                  self._raw_ea(line, state))
+        return None
+
+    def _stub_ea(self, stub, state):
+        ptr_lo, bias, uses_q = _STUB_EA[stub]
+        ea = absint.value_add(absint.get_pair(state, ptr_lo), bias)
+        if uses_q:
+            ea = absint.value_sum(ea, state.get(19, absint.TOP))
+        return ea
+
+    def _raw_ea(self, line, state):
+        key = line.instr.key
+        ops = line.instr.operands
+        if key == "sts":
+            return ops[0]
+        ptr_lo, bias, disp_idx = _RAW_EA[key]
+        ea = absint.value_add(absint.get_pair(state, ptr_lo), bias)
+        if disp_idx is not None:
+            ea = absint.value_sum(ea, ops[disp_idx])
+        return ea
+
+    def _classify(self, pc, key, ea):
+        layout = self.layout
+        if ea is absint.TOP:
+            return StoreProof(pc, key, PROOF_UNKNOWN, rule="ea-unknown")
+        lo, hi = absint._as_range(ea)
+        own = layout.static_data_span(self.domain)
+        if own is not None and own[0] <= lo and hi < own[1]:
+            return StoreProof(pc, key, PROOF_IN_DOMAIN, lo, hi,
+                              rule="sd-span-d{}".format(self.domain))
+        if hi < layout.prot_bottom:
+            return StoreProof(pc, key, PROOF_FAULTING, lo, hi,
+                              rule="below-prot-bottom")
+        for dom in range(layout.static_data_domains):
+            if dom == self.domain:
+                continue
+            span = layout.static_data_span(dom)
+            if span is not None and span[0] <= lo and hi < span[1]:
+                return StoreProof(pc, key, PROOF_FAULTING, lo, hi,
+                                  rule="foreign-span-d{}".format(dom))
+        return StoreProof(pc, key, PROOF_UNKNOWN, lo, hi,
+                          rule="target-" +
+                          absint.classify_data_address(layout, ea))
+
+
+# =====================================================================
+# The manifest: a proof-carrying image's detachable proof
+# =====================================================================
+def image_checksum(read_word, start, end):
+    """CRC32 over the little-endian words of ``[start, end)``."""
+    data = bytearray()
+    for i in range(start // 2, end // 2):
+        word = read_word(i)
+        data += struct.pack("<H", (word if word is not None else 0xFFFF)
+                            & 0xFFFF)
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+
+
+@dataclass
+class ElisionManifest:
+    """Schema-v1 proof record shipped alongside an elided image."""
+
+    module: str
+    domain: int
+    start: int
+    end: int
+    checksum: int
+    sites: list = field(default_factory=list)   # StoreProof list
+    schema: int = MANIFEST_SCHEMA
+
+    def site_at(self, pc):
+        for site in self.sites:
+            if site.pc == pc:
+                return site
+        return None
+
+    @property
+    def elided_checks(self):
+        return len(self.sites)
+
+    @property
+    def elided_cycles_saved(self):
+        """Static Table-3 estimate of cycles saved per execution of
+        every elided site once (the dynamic number is workload-bound)."""
+        return len(self.sites) * ELIDED_CHECK_CYCLES
+
+    def to_dict(self):
+        return {
+            "schema": self.schema,
+            "module": self.module,
+            "domain": self.domain,
+            "start": self.start,
+            "end": self.end,
+            "image_crc32": self.checksum,
+            "sites": [site.to_dict() for site in self.sites],
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError("unsupported elision manifest schema: "
+                             "{!r}".format(data.get("schema")))
+        return cls(module=str(data["module"]), domain=int(data["domain"]),
+                   start=int(data["start"]), end=int(data["end"]),
+                   checksum=int(data["image_crc32"]),
+                   sites=[StoreProof.from_dict(s)
+                          for s in data.get("sites", ())])
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def build_manifest(name, domain, rewritten, proofs, read_word=None):
+    """Manifest for a :class:`~repro.sfi.rewriter.RewrittenModule` whose
+    elided sites all carry ``in-domain-static`` proofs in *proofs*."""
+    read = read_word or (lambda i: rewritten.program.words.get(i, 0xFFFF))
+    sites = []
+    for old in sorted(rewritten.elided_sites):
+        pc = rewritten.elided_sites[old]
+        proof = proofs[pc]
+        if proof.kind != PROOF_IN_DOMAIN:
+            raise ValueError("site {:#06x} is not provably in-domain"
+                             .format(pc))
+        sites.append(proof)
+    return ElisionManifest(
+        module=name, domain=domain,
+        start=rewritten.start, end=rewritten.end,
+        checksum=image_checksum(read, rewritten.start, rewritten.end),
+        sites=sites)
+
+
+def verify_manifest(read_word, layout, runtime_symbols, manifest,
+                    entries=(), proofs=None, cfg=None):
+    """Re-check a manifest against the live image.
+
+    Returns a list of ``(message, byte_addr)`` problems — empty means
+    every claim re-proves.  The checksum binds the manifest to the
+    exact image; each site is then *re-proved* from scratch (the
+    manifest's intervals are evidence for humans, not trusted input).
+    Callers that already ran the prover can pass *proofs*/*cfg* to skip
+    the duplicate fixpoint.
+    """
+    problems = []
+    if manifest.schema != MANIFEST_SCHEMA:
+        return [("unsupported manifest schema {!r}".format(manifest.schema),
+                 manifest.start)]
+    actual = image_checksum(read_word, manifest.start, manifest.end)
+    if actual != manifest.checksum:
+        return [("manifest checksum mismatch (stale manifest or patched "
+                 "image): {:#010x} != {:#010x}".format(
+                     actual, manifest.checksum), manifest.start)]
+    if proofs is None:
+        if cfg is None:
+            cfg = RegionCFG.build(read_word, manifest.start, manifest.end,
+                                  name=manifest.module,
+                                  extra_leaders=sorted(entries))
+        prover = StoreProver(layout, runtime_symbols, manifest.domain)
+        proofs = prover.prove_cfg(cfg, entries=entries)
+    for site in manifest.sites:
+        if site.kind != PROOF_IN_DOMAIN:
+            problems.append(("manifest claims non-elidable proof kind "
+                             "{!r} at {:#06x}".format(site.kind, site.pc),
+                             site.pc))
+            continue
+        proof = proofs.get(site.pc)
+        if proof is None:
+            problems.append(("manifest site {:#06x} has no provable "
+                             "store (forged or stale site)".format(site.pc),
+                             site.pc))
+        elif proof.key != site.key:
+            problems.append(("manifest site {:#06x} key mismatch: image "
+                             "has {!r}, manifest claims {!r}".format(
+                                 site.pc, proof.key, site.key), site.pc))
+        elif proof.kind != PROOF_IN_DOMAIN:
+            problems.append(("manifest site {:#06x} does not re-prove: "
+                             "{} ({})".format(site.pc, proof.kind,
+                                              proof.rule), site.pc))
+    return problems

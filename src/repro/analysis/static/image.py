@@ -43,6 +43,11 @@ class ModuleRegion:
     end: int
     policy: str = "sfi"
     entries: dict = field(default_factory=dict)   # name -> byte address
+    #: (lo, hi) byte ranges inside [start, end) holding data words
+    #: (jump tables, constant pools) — excluded from decode/dead-code
+    data_spans: tuple = ()
+    #: the module's ElisionManifest, when it was loaded proof-carrying
+    manifest: object = None
 
 
 @dataclass
@@ -110,7 +115,9 @@ class ImageModel:
             model.modules.append(ModuleRegion(
                 name=module.name, domain=module.domain,
                 start=module.start, end=module.end,
-                policy="sfi" if is_sfi else "umpu", entries=entries))
+                policy="sfi" if is_sfi else "umpu", entries=entries,
+                data_spans=tuple(getattr(module, "data_spans", ()) or ()),
+                manifest=getattr(module, "manifest", None)))
         model.modules.extend(extra_modules)
         return model
 
@@ -137,7 +144,9 @@ class ImageModel:
             cfg = RegionCFG.build(self.read_word, region.start, region.end,
                                   name=region.name,
                                   extra_leaders=sorted(
-                                      region.entries.values()))
+                                      region.entries.values()),
+                                  data_spans=getattr(region, "data_spans",
+                                                     ()))
             self._cfgs[region.name] = cfg
         return cfg
 

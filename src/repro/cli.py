@@ -28,6 +28,11 @@ Installed as console scripts (see ``pyproject.toml``):
   overhead estimation and dead-code detection, reported with stable
   ``HLxxx`` rule codes (text, JSON or SARIF); see
   ``docs/static-analysis.md``.
+* ``harbor-opt MODULE[:EXPORTS] [...]`` — proof-directed check elision:
+  load modules with the prover enabled, strip run-time store checks it
+  proves redundant against the layout's static data spans, write the
+  ``ElisionManifest`` proof records and re-lint the elided image; see
+  the "Check elision" section of ``docs/static-analysis.md``.
 
 The image format is deliberately trivial: one ``ADDR: WORD`` hex pair
 per line (word addresses), so images are diffable and editable.
@@ -414,6 +419,16 @@ def cmd_lint(argv=None):
                         help="write the report here (in --format)")
     parser.add_argument("--no-dead-code", action="store_true",
                         help="skip the dead/unreachable-block analysis")
+    parser.add_argument("--fail-on", choices=("error", "warning", "note"),
+                        default="error",
+                        help="exit 1 when a finding at or above this "
+                             "severity exists (default: error)")
+    parser.add_argument("--data-span", action="append", default=[],
+                        metavar="MODULE:LO-HI",
+                        help="declare [LO, HI] (module-relative byte "
+                             "offsets, with --unchecked) as data words "
+                             "— excluded from decode/dead-code analysis "
+                             "(repeatable)")
     args = parser.parse_args(argv)
     import json as json_mod
 
@@ -425,6 +440,17 @@ def cmd_lint(argv=None):
     from repro.asm.assembler import default_symbols
     from repro.sfi.system import SfiSystem
     from repro.umpu.system import UmpuSystem
+
+    data_spans = {}
+    try:
+        for spec in args.data_span:
+            name, _, span_text = spec.rpartition(":")
+            lo_text, _, hi_text = span_text.partition("-")
+            data_spans.setdefault(name, []).append(
+                (int(lo_text, 0), int(hi_text, 0)))
+    except ValueError as exc:
+        print("error: bad --data-span: {}".format(exc), file=sys.stderr)
+        return 2
 
     if args.umpu:
         system = UmpuSystem()
@@ -458,11 +484,17 @@ def cmd_lint(argv=None):
                 extra_regions.append(ModuleRegion(
                     name=name, domain=index, start=base, end=end,
                     policy="umpu" if args.umpu else "sfi",
-                    entries=entries))
+                    entries=entries,
+                    data_spans=tuple(
+                        (base + lo_off, base + hi_off)
+                        for lo_off, hi_off in data_spans.get(name, ()))))
                 system._next_load = (end + 0xFF) & ~0xFF
             else:
                 system.load_module(program, name, exports=exports)
-    except (AsmError, RewriteError, VerifyError, OSError) as exc:
+    except (AsmError, OSError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    except (RewriteError, VerifyError) as exc:
         print("error: {}".format(exc), file=sys.stderr)
         return 1
     model, report = lint_system(system,
@@ -488,7 +520,118 @@ def cmd_lint(argv=None):
         print(json_mod.dumps(doc, indent=1, sort_keys=True))
     if args.output:
         print("; lint report -> {}".format(args.output), file=sys.stderr)
-    return 1 if engine.has_errors else 0
+    return 1 if _findings_at_or_above(engine, args.fail_on) else 0
+
+
+def _findings_at_or_above(engine, threshold):
+    """Count findings at or above *threshold* severity (harbor-lint's
+    ``--fail-on`` gate; severities order most-severe-first)."""
+    from repro.analysis.static.diagnostics import SEVERITIES
+    rank = SEVERITIES.index(threshold)
+    return sum(1 for d in engine.findings
+               if SEVERITIES.index(d.severity) <= rank)
+
+
+def cmd_opt(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-opt",
+        description="proof-directed check elision: load modules with "
+                    "the whole-image prover enabled, elide run-time "
+                    "store checks proved redundant against the static "
+                    "data spans, emit the ElisionManifest(s) and "
+                    "re-lint the elided image")
+    parser.add_argument("modules", nargs="+", metavar="MODULE[:EXPORTS]",
+                        help="module source (.s) or image (.hex); "
+                             "EXPORTS is a comma-separated export list "
+                             "(default: every label)")
+    parser.add_argument("--allow-io", action="append", default=[],
+                        type=lambda v: int(v, 0),
+                        help="whitelisted I/O address (repeatable)")
+    parser.add_argument("--static-data", type=lambda v: int(v, 0),
+                        default=256, metavar="BYTES",
+                        help="per-domain static data span size "
+                             "(multiple of 256; 0 disables; default "
+                             "256)")
+    parser.add_argument("--static-domains", type=int, default=None,
+                        help="domains that get a span (default: one "
+                             "per module)")
+    parser.add_argument("-o", "--output", default=None, metavar="OUT.json",
+                        help="write the manifest(s) here (module name "
+                             "is inserted before the extension when "
+                             "several modules elide)")
+    parser.add_argument("--fail-on", choices=("error", "warning", "note"),
+                        default="error",
+                        help="exit 1 when the re-lint finds an issue at "
+                             "or above this severity (default: error)")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.static import lint_system
+    from repro.asm.assembler import default_symbols
+    from repro.sfi.system import SfiSystem
+
+    static_domains = args.static_domains if args.static_domains is not None \
+        else min(len(args.modules), SfiLayout().ndomains - 1)
+    try:
+        layout = SfiLayout(static_data_bytes=args.static_data,
+                           static_data_domains=static_domains
+                           if args.static_data else 0)
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    system = SfiSystem(layout=layout, allowed_io=tuple(args.allow_io))
+    predefined = set(default_symbols())
+    summaries = []
+    try:
+        for spec in args.modules:
+            path, _, exports_text = spec.partition(":")
+            if path.endswith(".hex"):
+                program = _load_image(path)
+            else:
+                asm = Assembler(symbols=system.kernel_symbols())
+                program = asm.assemble(_read_source(path), name=path)
+            lo, hi = program.extent()
+            labels = {n: a for n, a in program.symbols.items()
+                      if n not in predefined and lo * 2 <= a <= hi * 2 + 1}
+            exports = tuple(e for e in exports_text.split(",") if e) \
+                or tuple(sorted(labels))
+            name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+            module = system.load_module(program, name, exports=exports,
+                                        elide=True)
+            summaries.append(module)
+    except (AsmError, OSError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    except (RewriteError, VerifyError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+    multiple = sum(1 for m in summaries if m.manifest is not None) > 1
+    for module in summaries:
+        stats = module.rewrite_stats
+        total = stats.get("stores", 0)
+        if module.manifest is None:
+            print("{}: 0/{} checked store(s) elided".format(
+                module.name, total))
+            continue
+        manifest = module.manifest
+        print("{}: {}/{} checked store(s) elided "
+              "(~{} cycles/pass saved, Table 3)".format(
+                  module.name, manifest.elided_checks, total,
+                  manifest.elided_cycles_saved))
+        for site in manifest.sites:
+            print("  0x{:04x} {} [{}] ea=0x{:04x}..0x{:04x}".format(
+                site.pc, site.key, site.rule, site.lo, site.hi))
+        if args.output:
+            path = args.output
+            if multiple:
+                stem, dot, ext = path.rpartition(".")
+                path = "{}.{}{}{}".format(stem, module.name, dot, ext) \
+                    if dot else "{}.{}".format(path, module.name)
+            manifest.write(path)
+            print("; manifest -> {}".format(path), file=sys.stderr)
+    _model, report = lint_system(system)
+    engine = report.diagnostics
+    print(engine.render_text())
+    return 1 if _findings_at_or_above(engine, args.fail_on) else 0
 
 
 def main(argv=None):
@@ -498,11 +641,11 @@ def main(argv=None):
              "rewrite": cmd_rewrite, "verify": cmd_verify,
              "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile,
              "explain-fault": cmd_explain_fault, "metrics": cmd_metrics,
-             "lint": cmd_lint}
+             "lint": cmd_lint, "opt": cmd_opt}
     if not argv or argv[0] not in tools:
         print("usage: python -m repro.cli "
               "{asm|disasm|rewrite|verify|run|trace|profile|"
-              "explain-fault|metrics|lint} ...",
+              "explain-fault|metrics|lint|opt} ...",
               file=sys.stderr)
         return 64
     return tools[argv[0]](argv[1:])

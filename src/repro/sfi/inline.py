@@ -227,13 +227,13 @@ class TemplateVerifier(Verifier):
             return
         super()._check_io(line, addr)
 
-    def verify(self, flash_words, start, end):
+    def verify(self, flash_words, start, end, manifest=None):
         if hasattr(flash_words, "word"):
             hi = end // 2
             flash_words = [flash_words.word(i) for i in range(hi)]
         self._words = flash_words
         self._protected_ranges = []
-        report = super().verify(flash_words, start, end)
+        report = super().verify(flash_words, start, end, manifest=manifest)
         # skip instructions can leap over one instruction: collect their
         # landing points as implicit control-transfer targets
         from repro.asm.disassembler import disassemble as dis

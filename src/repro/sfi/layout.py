@@ -55,6 +55,54 @@ class SfiLayout:
     #: share so that "normal" and "protected" are comparable.
     heap_header: int = 4
 
+    #: per-domain *static data span* size in bytes (0 disables spans).
+    #: Spans are carved from the top of the heap, pinned to their owning
+    #: domain by ``hb_init`` and never released by ``hb_free`` /
+    #: ``hb_change_own``, so their ownership is a build-time constant the
+    #: static analyzer may rely on for check elision.  Must be a multiple
+    #: of 256 so a span covers whole 256-byte pages: interval widening in
+    #: the abstract interpreter stabilizes a post-incremented pointer to
+    #: "one page" (constant high byte, widened low byte), and page-sized
+    #: spans make that fact sufficient for an in-domain proof.
+    static_data_bytes: int = 0
+    #: how many domains (0..N-1) receive a static data span.
+    static_data_domains: int = 0
+
+    def __post_init__(self):
+        if self.static_data_bytes < 0 or self.static_data_domains < 0:
+            raise ValueError("static data configuration must be >= 0")
+        if self.static_data_bytes % 256:
+            raise ValueError("static_data_bytes must be a multiple of 256")
+        total = self.static_data_total
+        if total:
+            if self.static_data_domains >= self.ndomains:
+                raise ValueError(
+                    "static data spans limited to untrusted domains "
+                    "(< ndomains - 1)")
+            if self.heap_end - total <= self.heap_start:
+                raise ValueError("static data spans exceed the heap")
+
+    @property
+    def static_data_total(self):
+        return self.static_data_bytes * self.static_data_domains
+
+    @property
+    def heap_dynamic_end(self):
+        """End of the heap region the allocator may hand out.
+
+        Everything in ``[heap_dynamic_end, heap_end)`` is a pinned
+        static data span.
+        """
+        return self.heap_end - self.static_data_total
+
+    def static_data_span(self, domain):
+        """``(base, end)`` of *domain*'s pinned span, or ``None``."""
+        if self.static_data_bytes <= 0 or \
+                not 0 <= domain < self.static_data_domains:
+            return None
+        end = self.heap_end - domain * self.static_data_bytes
+        return (end - self.static_data_bytes, end)
+
     @property
     def block_log2(self):
         return self.block_size.bit_length() - 1
@@ -95,6 +143,7 @@ class SfiLayout:
             "HB_BLOCK_LOG2": self.block_log2,
             "HB_HEAP_START": self.heap_start,
             "HB_HEAP_END": self.heap_end,
+            "HB_HEAP_DYN_END": self.heap_dynamic_end,
             "HB_SS_BASE": self.safe_stack_base,
             "HB_SS_LIMIT": self.safe_stack_limit,
             "HB_JT_BASE": self.jt_base,

@@ -61,6 +61,11 @@ class _Item:
     old_addr: int = None    # original byte address (first item of a group)
     new_addr: int = None
     size_words: int = 1
+    #: original byte address of the store this item realizes: set on
+    #: the check-stub ``call`` (checked store) or on the raw store
+    #: instruction itself (elided store), so the elision pass can map
+    #: proof sites across re-layout rounds.
+    store_site: int = None
 
     def compute_size(self):
         if self.key == "data":
@@ -81,6 +86,10 @@ class RewrittenModule:
     addr_map: dict              # old byte addr -> new byte addr
     exports: dict               # name -> new byte addr
     stats: dict = field(default_factory=dict)
+    #: old store byte addr -> new byte addr of its check-stub call
+    store_sites: dict = field(default_factory=dict)
+    #: old store byte addr -> new byte addr of the raw (elided) store
+    elided_sites: dict = field(default_factory=dict)
 
     @property
     def size_bytes(self):
@@ -93,6 +102,8 @@ class Rewriter:
     #: instructions that can never appear in a sandboxed module
     FORBIDDEN = {"break", "ijmp", "reti", "sleep", "wdr"}
 
+    _elide = frozenset()
+
     def __init__(self, runtime_symbols, layout=None):
         """*runtime_symbols*: symbol table of the assembled runtime
         (entry-point name -> byte address)."""
@@ -100,7 +111,8 @@ class Rewriter:
         self.runtime = runtime_symbols
 
     # ------------------------------------------------------------------
-    def rewrite(self, module, new_origin, exports=(), entries=()):
+    def rewrite(self, module, new_origin, exports=(), entries=(),
+                elide=()):
         """Rewrite *module* (a Program) to run at *new_origin*.
 
         ``exports`` are names of functions other domains may call (their
@@ -108,12 +120,19 @@ class Rewriter:
         are additional known function-entry labels.  Function entries
         (prologue insertion points) are the union of exports, entries
         and every target of an internal call.
+
+        ``elide`` is a set of *original* store byte addresses to emit as
+        raw stores instead of check-stub sequences.  The rewriter does
+        not judge whether that is safe — it is untrusted; the elision
+        proofs live in :mod:`repro.analysis.static.elision` and the
+        verifier re-checks them via the :class:`ElisionManifest`.
         """
         lines = disassemble(module)
         entry_addrs = self._find_entries(module, lines, exports, entries)
+        self._elide = frozenset(elide)
         items = []
         stats = {"stores": 0, "cross_calls": 0, "rets": 0, "icalls": 0,
-                 "prologues": 0}
+                 "prologues": 0, "elided_stores": 0}
         for line in lines:
             if line.instr is None:
                 raise RewriteError(
@@ -174,6 +193,10 @@ class Rewriter:
 
         if spec.kind == "store" or key == "sts":
             stats["stores"] += 1
+            if old in self._elide:
+                stats["elided_stores"] += 1
+                return [_Item(key, instr.operands, old_addr=old,
+                              store_site=old)]
             return self._rewrite_store(instr, old)
         if key == "icall":
             stats["icalls"] += 1
@@ -208,7 +231,8 @@ class Rewriter:
 
         def ins(key, *ops):
             items.append(_Item(key, tuple(ops),
-                               old_addr=old if not items else None))
+                               old_addr=old if not items else None,
+                               store_site=old if key == "call" else None))
 
         if instr.key == "sts":
             addr, reg = instr.operands
@@ -366,9 +390,20 @@ class Rewriter:
                       for name in exports}
         stats["size_in"] = module.code_bytes
         stats["size_out"] = end - new_origin
+        store_sites = {}
+        elided_sites = {}
+        for item in items:
+            if item.store_site is None:
+                continue
+            if item.key == "call":
+                store_sites[item.store_site] = item.new_addr
+            else:
+                elided_sites[item.store_site] = item.new_addr
         return RewrittenModule(program=program, start=new_origin, end=end,
                                addr_map=dict(addr_map),
-                               exports=export_map, stats=stats)
+                               exports=export_map, stats=stats,
+                               store_sites=store_sites,
+                               elided_sites=elided_sites)
 
     @staticmethod
     def _encode_target(item, target_byte):

@@ -20,7 +20,13 @@ Register conventions (documented for the rewriter):
 * cross-domain target (flash word address): Z
 * r1 is always zero (gcc convention; the verifier enforces that module
   code never leaves it dirty)
-* all store/save/restore stubs preserve every register and SREG
+* all store/save/restore stubs preserve every register and SREG,
+  *except* the architectural pointer side effect of the addressed mode:
+  ``hb_st_*_plus`` leaves the pointer pair incremented and
+  ``hb_st_*_dec`` leaves it decremented, exactly as the raw instruction
+  would have.  The static analyzer's call models
+  (:data:`repro.analysis.static.elision.STUB_EFFECTS`) encode this
+  contract; keep them in sync when touching stub bodies.
 * the allocator entry points follow the avr-gcc ABI (args/result in
   r24:25, r22; r18-r27/r30/r31 caller-saved)
 """
@@ -552,15 +558,38 @@ hoc_fault:
 """
 
 
-def _allocator():
+def _allocator(layout):
     """First-fit allocator, unprotected and protected variants.
 
     Heap layout: every allocation is preceded by a 4-byte SOS-style
     header [size_lo][size_hi][owner][flags]; free-list nodes reuse the
     first four bytes as [size_lo][size_hi][next_lo][next_hi].  Sizes are
     in bytes, include the header and are block multiples.
+
+    When the layout carves static data spans from the heap top, ``hb_free``
+    and ``hb_change_own`` additionally range-check the segment base
+    against ``HB_HEAP_DYN_END``: spans are pinned at boot and their
+    ownership must stay a build-time constant (the check-elision proofs
+    rely on it), so releasing or re-owning one is an ownership fault even
+    for the trusted domain.  The guard is only emitted when spans are
+    configured, keeping the default runtime image byte-identical.
     """
-    return """
+    if layout.static_data_total:
+        free_guard = """
+    ldi r30, lo8(HB_HEAP_DYN_END)
+    ldi r31, hi8(HB_HEAP_DYN_END)
+    cp r26, r30
+    cpc r27, r31
+    brsh hf_pin_fault"""
+        chown_guard = free_guard.replace("hf_pin_fault", "hco_pin_fault")
+        free_fault = f"""
+hf_pin_fault:
+    ldi r20, {FAULT_OWNERSHIP}
+    rjmp hb_fault_r20"""
+        chown_fault = free_fault.replace("hf_pin_fault", "hco_pin_fault")
+    else:
+        free_guard = chown_guard = free_fault = chown_fault = ""
+    return f"""
 ; ---------------------------------------------------------- allocator
 ; hb_malloc_core: r24:25 = user size.
 ; out: X = segment base (0 on failure), r20:21 = rounded gross size.
@@ -676,7 +705,7 @@ free_unprot:
 ; hb_free: ownership check + mark blocks free + free list insert
 hb_free:
     sbiw r24, HB_HDR
-    movw r26, r24
+    movw r26, r24{free_guard}
     call hb_owner_check
     ld r20, X+                 ; gross size from header
     ld r21, X
@@ -692,7 +721,7 @@ hb_free:
     st X, r18
     sts HB_FREE_LO, r24
     sts HB_FREE_HI, r25
-    ret
+    ret{free_fault}
 
 ; chown_unprot: r24:25 = user pointer, r22 = new owner
 chown_unprot:
@@ -716,7 +745,7 @@ cu_fail:
 ; hb_change_own: memmap ownership check + nibble rewrite + header update
 hb_change_own:
     sbiw r24, HB_HDR
-    movw r26, r24
+    movw r26, r24{chown_guard}
     call hb_owner_check
     adiw r26, 2
     st X, r22                  ; header owner
@@ -730,7 +759,7 @@ hb_change_own:
     ori r18, 1
     call hb_mmap_mark
     ldi r24, 1
-    ret
+    ret{chown_fault}
 """
 
 
@@ -794,7 +823,22 @@ hb_change_own_svc:             ; r24:25 = ptr, r22 = new owner
 
 def _init(layout):
     table_bytes = layout.memmap_config.table_bytes
-    heap_bytes = layout.heap_end - layout.heap_start
+    # the free list only ever covers the *dynamic* heap; pinned static
+    # data spans above HB_HEAP_DYN_END are never on it
+    heap_bytes = layout.heap_dynamic_end - layout.heap_start
+    pin_spans = []
+    for dom in range(layout.static_data_domains):
+        base, _end = layout.static_data_span(dom)
+        pin_spans.append(f"""
+    ; pin domain {dom}'s static data span at {base:#06x}
+    ldi r26, lo8({base})
+    ldi r27, hi8({base})
+    ldi r20, lo8({layout.static_data_bytes})
+    ldi r21, hi8({layout.static_data_bytes})
+    ldi r18, {(dom << 1) | 1}
+    ldi r19, {dom << 1}
+    call hb_mmap_mark""")
+    pin_static = "".join(pin_spans)
     return f"""
 ; -------------------------------------------------------------- hb_init
 ; Boot-time initialization by the trusted domain: protection state,
@@ -843,7 +887,7 @@ hi_mm_loop:
     ldi r21, hi8(HB_SS_LIMIT - HB_SS_BASE)
     ldi r18, 0x0F
     ldi r19, 0x0E              ; later portion of trusted segment
-    call hb_mmap_mark
+    call hb_mmap_mark{pin_static}
     ret
 """
 
@@ -861,7 +905,7 @@ def runtime_source(layout=None):
         _cross_domain(layout),
         _memmap_mark(),
         _owner_check(),
-        _allocator(),
+        _allocator(layout),
         _services(),
         _init(layout),
         "rt_end:",

@@ -59,6 +59,9 @@ class LoadedModule:
     exports: dict           # name -> jump-table entry byte address
     rewrite_stats: dict
     verify_report: object
+    #: ElisionManifest when the module was loaded with ``elide=True``
+    #: and at least one check was proved away, else None
+    manifest: object = None
 
 
 class SfiSystem:
@@ -132,7 +135,16 @@ class SfiSystem:
             for export, addr in module.exports.items():
                 syms["JT_{}_{}".format(module.name.upper(),
                                        export.upper())] = addr
+        for dom in range(self.layout.static_data_domains):
+            base, end = self.layout.static_data_span(dom)
+            syms["SDATA_D{}".format(dom)] = base
+            syms["SDATA_D{}_END".format(dom)] = end
         return syms
+
+    def static_data_addr(self, domain):
+        """Base of *domain*'s pinned static data span, or None."""
+        span = self.layout.static_data_span(domain)
+        return span[0] if span else None
 
     def symbol_map(self):
         """Whole-image symbol map: runtime labels, jump-table slot
@@ -151,7 +163,7 @@ class SfiSystem:
 
     # ------------------------------------------------------------------
     def load_module(self, program, name, exports=(), entries=(),
-                    lint=None):
+                    lint=None, elide=False):
         """Admit a module: rewrite, verify, link, install.
 
         *program* is the module's assembled image (unsandboxed).
@@ -166,6 +178,13 @@ class SfiSystem:
         catching whole-image properties (jump-table sanity, cross-region
         edges, unbounded safe-stack occupancy) the per-module linear
         scan cannot see.
+
+        *elide* runs the proof-directed check-elision pass
+        (:mod:`repro.analysis.static.elision`): stores proved to stay
+        inside the domain's static data span keep their raw form, and
+        the resulting :class:`ElisionManifest` accompanies the image
+        through verification (and is re-proved against the installed
+        flash).  With no provable sites this degrades to a normal load.
         """
         if self._free_domains:
             domain = self._free_domains.pop(0)
@@ -175,11 +194,17 @@ class SfiSystem:
             raise ValueError("no free protection domain")
         rewritten = self.rewriter.rewrite(program, self._next_load,
                                           exports=exports, entries=entries)
+        manifest = None
+        if elide:
+            rewritten, manifest = self._elide_pass(
+                program, name, domain, exports, entries, rewritten)
         self.verifier.verify(rewritten.program, rewritten.start,
-                             rewritten.end)
+                             rewritten.end, manifest=manifest)
         for word_addr, value in rewritten.program.words.items():
             self.machine.memory.write_flash_word(word_addr, value)
         self.machine.core.invalidate_decode_cache()
+        if manifest is not None:
+            self._check_installed_manifest(rewritten, manifest)
         jt_exports = {}
         for export in exports:
             jt_exports[export] = self.linker.export(
@@ -189,7 +214,7 @@ class SfiSystem:
             name=name, domain=domain, start=rewritten.start,
             end=rewritten.end, exports=jt_exports,
             rewrite_stats=rewritten.stats,
-            verify_report=None)
+            verify_report=None, manifest=manifest)
         self.modules[name] = module
         if domain == self._next_domain:
             self._next_domain += 1
@@ -197,6 +222,96 @@ class SfiSystem:
         if lint if lint is not None else self.strict_lint:
             self._lint_gate(name)
         return module
+
+    # ------------------------------------------------------------------
+    def _elide_pass(self, program, name, domain, exports, entries,
+                    rewritten):
+        """Prove and elide redundant store checks; returns the final
+        (possibly re-rewritten) module and its manifest (or None).
+
+        Elision changes the layout, which can change which facts hold
+        (stub calls push/pop marshaling registers that raw stores leave
+        alone), so rewrite→prove iterates to a fixpoint; a final
+        validation round keeps only sites that still prove on the image
+        that will actually be installed.
+        """
+        from repro.analysis.static.cfg import RegionCFG
+        from repro.analysis.static.elision import (
+            PROOF_IN_DOMAIN,
+            StoreProver,
+            build_manifest,
+        )
+        prover = StoreProver(self.layout, self.runtime.symbols, domain)
+
+        def prove(rw):
+            read = lambda i: rw.program.words.get(i, 0xFFFF)  # noqa: E731
+            entry_addrs = sorted(set(rw.exports.values()) |
+                                 {rw.addr_map[program.symbol(e)]
+                                  for e in entries})
+            cfg = RegionCFG.build(read, rw.start, rw.end, name=name,
+                                  extra_leaders=entry_addrs)
+            return prover.prove_cfg(cfg, entries=entry_addrs)
+
+        def provable(rw, proofs):
+            sites = set()
+            for mapping in (rw.store_sites, rw.elided_sites):
+                for old, pc in mapping.items():
+                    proof = proofs.get(pc)
+                    if proof is not None and proof.kind == PROOF_IN_DOMAIN:
+                        sites.add(old)
+            return sites
+
+        elide = set()
+        proofs = prove(rewritten)
+        for _round in range(4):
+            target = provable(rewritten, proofs)
+            if target == elide:
+                break
+            elide = target
+            rewritten = self.rewriter.rewrite(
+                program, rewritten.start, exports=exports,
+                entries=entries, elide=tuple(sorted(elide)))
+            proofs = prove(rewritten)
+        # keep only elided sites that prove on the final image
+        still = {old for old, pc in rewritten.elided_sites.items()
+                 if proofs.get(pc) is not None and
+                 proofs[pc].kind == PROOF_IN_DOMAIN}
+        if still != set(rewritten.elided_sites):
+            rewritten = self.rewriter.rewrite(
+                program, rewritten.start, exports=exports,
+                entries=entries, elide=tuple(sorted(still)))
+            proofs = prove(rewritten)
+            still = {old for old, pc in rewritten.elided_sites.items()
+                     if proofs.get(pc) is not None and
+                     proofs[pc].kind == PROOF_IN_DOMAIN}
+            if still != set(rewritten.elided_sites):
+                # did not stabilize: fall back to the fully checked image
+                return self.rewriter.rewrite(program, rewritten.start,
+                                             exports=exports,
+                                             entries=entries), None
+        if not rewritten.elided_sites:
+            return rewritten, None
+        return rewritten, build_manifest(name, domain, rewritten, proofs)
+
+    def _check_installed_manifest(self, rewritten, manifest):
+        """Defense in depth: re-prove the manifest against the flash
+        image that was actually installed, and publish the metrics."""
+        from repro.analysis.static.elision import verify_manifest
+        problems = verify_manifest(
+            self.machine.memory.read_flash_word, self.layout,
+            self.runtime.symbols, manifest,
+            entries=sorted(set(rewritten.exports.values())))
+        if problems:
+            message, byte_addr = problems[0]
+            raise VerifyError(message, byte_addr=byte_addr, rule="HL014")
+        metrics = getattr(self.machine.core, "metrics", None)
+        if metrics is not None:
+            metrics.counter("elided_checks",
+                            module=manifest.module).inc(
+                                manifest.elided_checks)
+            metrics.counter("elided_cycles_saved",
+                            module=manifest.module).inc(
+                                manifest.elided_cycles_saved)
 
     def _lint_gate(self, name):
         """Strict-mode admission: run the whole-image analyzer and back
@@ -222,7 +337,11 @@ class SfiSystem:
         reachable through any jump table."""
         module = self.modules.pop(name)
         memmap = self.memmap
-        heap_start, heap_end = self.layout.heap_start, self.layout.heap_end
+        # only dynamic heap segments are allocator blocks; pinned static
+        # data spans above heap_dynamic_end stay owned forever (hb_free
+        # would fault on them, and elision proofs depend on the pinning)
+        heap_start = self.layout.heap_start
+        heap_end = self.layout.heap_dynamic_end
         for start, _nblocks, owner in memmap.segments():
             if owner == module.domain and heap_start <= start < heap_end:
                 self.free(start + self.layout.heap_header)

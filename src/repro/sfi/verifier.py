@@ -59,6 +59,7 @@ class VerifyReport:
     calls_to_runtime: int = 0
     internal_calls: int = 0
     rets: int = 0
+    elided_stores: int = 0
     boundaries: set = field(default_factory=set)
 
 
@@ -96,7 +97,7 @@ class Verifier:
             return
         raise VerifyError(message, byte_addr, rule=rule)
 
-    def verify_all(self, flash_words, start, end):
+    def verify_all(self, flash_words, start, end, manifest=None):
         """Scan the whole module and collect *every* violation instead
         of stopping at the first — returns a
         :class:`~repro.analysis.static.diagnostics.DiagnosticsEngine`
@@ -107,24 +108,50 @@ class Verifier:
         engine = DiagnosticsEngine()
         self._collector = engine
         try:
-            self.verify(flash_words, start, end)
+            self.verify(flash_words, start, end, manifest=manifest)
         finally:
             self._collector = None
         return engine
 
     # ------------------------------------------------------------------
-    def verify(self, flash_words, start, end):
+    def verify(self, flash_words, start, end, manifest=None):
         """Verify the module occupying byte range [start, end).
 
         *flash_words* is the word image (list or Program).  Returns a
         :class:`VerifyReport`; raises :class:`VerifyError` on rejection.
+
+        *manifest* is an optional
+        :class:`~repro.analysis.static.elision.ElisionManifest`: a raw
+        store is admitted iff the manifest's checksum matches the image
+        byte-for-byte and the store's address/key is listed as a proved
+        site.  The linear verifier deliberately checks only the binding
+        (checksum + site membership) — re-proving the interval facts is
+        the whole-image analyzer's job (it re-runs the prover), keeping
+        this scan constant-state as the paper requires.
         """
         if hasattr(flash_words, "word"):
             hi = end // 2
             flash_words = [flash_words.word(i) for i in range(hi)]
+        self._manifest_sites = {}
+        if manifest is not None:
+            from repro.analysis.static.elision import image_checksum
+            limit = len(flash_words)
+            actual = image_checksum(
+                lambda i: flash_words[i] if i < limit else 0xFFFF,
+                start, end)
+            if manifest.start != start or manifest.end != end or \
+                    actual != manifest.checksum:
+                self._violation(
+                    "HL014",
+                    "elision manifest does not match the image "
+                    "(stale manifest or patched image)", start)
+            else:
+                self._manifest_sites = {site.pc: site
+                                        for site in manifest.sites}
         lines = disassemble(flash_words, start_word=start // 2,
                             count_words=(end - start) // 2)
         report = VerifyReport(start=start, end=end)
+        self._report = report
         saw_restore_call = False
         branch_targets = []
         for line in lines:
@@ -201,9 +228,20 @@ class Verifier:
     # --- extension hooks (the verifier design space, see
     # repro.sfi.inline.TemplateVerifier) --------------------------------
     def _forbidden_key(self, key, line, branch_targets):
+        if key in self.STORE_KEYS:
+            site = getattr(self, "_manifest_sites", {}).get(line.byte_addr)
+            if site is not None and site.key == key:
+                # proof-carrying image: the manifest (checksum-bound to
+                # this exact image) lists this raw store as proved
+                self._report.elided_stores += 1
+                return
+            self._violation(
+                "HL001", "forbidden instruction {!r}".format(key),
+                line.byte_addr)
+            return
         self._violation(
-            "HL001" if key in self.STORE_KEYS else "HL005",
-            "forbidden instruction {!r}".format(key), line.byte_addr)
+            "HL005", "forbidden instruction {!r}".format(key),
+            line.byte_addr)
 
     def _check_protected_targets(self, branch_targets):
         """No protected ranges in the constant-state verifier."""

@@ -10,6 +10,7 @@ from repro.cli import (
     cmd_explain_fault,
     cmd_lint,
     cmd_metrics,
+    cmd_opt,
     cmd_profile,
     cmd_rewrite,
     cmd_run,
@@ -308,3 +309,85 @@ def test_main_multiplexer(demo_source, capsys):
     capsys.readouterr()
     assert main([]) == 64
     assert main(["bogus"]) == 64
+
+
+NOTED_MODULE = """
+f:
+    ret
+    nop
+"""
+
+# ret-less so the raw (--unchecked) image has no HL003 to report: the
+# only findings can come from the trailing data word
+DATA_MODULE = """
+entry:
+    ldi r24, 1
+spin:
+    rjmp spin
+.dw 0xFFFF
+"""
+
+
+def test_lint_fail_on_raises_severity_floor(tmp_path, capsys):
+    path = tmp_path / "noted.s"
+    path.write_text(NOTED_MODULE)
+    # dead code is a note: clean by default, a failure under --fail-on
+    assert cmd_lint([str(path)]) == 0
+    assert "HL010" in capsys.readouterr().out
+    assert cmd_lint(["--fail-on", "note", str(path)]) == 1
+    assert cmd_lint(["--fail-on", "warning", str(path)]) == 0
+
+
+def test_lint_missing_file_is_an_internal_error(capsys):
+    assert cmd_lint(["/nonexistent/module.s"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_lint_bad_data_span_spec_is_an_internal_error(tmp_path, capsys):
+    path = tmp_path / "data.s"
+    path.write_text(DATA_MODULE)
+    assert cmd_lint(["--unchecked", str(path),
+                     "--data-span", "data:nonsense"]) == 2
+    assert "bad --data-span" in capsys.readouterr().err
+
+
+def test_lint_data_span_excludes_data_words(tmp_path, capsys):
+    path = tmp_path / "data.s"
+    path.write_text(DATA_MODULE)
+    # the trailing .dw 0xFFFF does not decode: HL011 without annotation
+    assert cmd_lint(["--unchecked", str(path)]) == 1
+    assert "HL011" in capsys.readouterr().out
+    # annotated as data (module-relative offsets) the image lints clean
+    assert cmd_lint(["--unchecked", str(path),
+                     "--data-span", "data:4-6"]) == 0
+    out = capsys.readouterr().out
+    assert "HL011" not in out
+    assert "no findings" in out
+
+
+def test_opt_elides_and_writes_manifest(tmp_path, capsys):
+    from repro.analysis.static.elision import ElisionManifest
+    out = tmp_path / "logger.manifest.json"
+    code = cmd_opt(["examples/modules/static_logger.s:"
+                    "logger_fill,logger_set,logger_tally",
+                    "--static-data", "256", "-o", str(out)])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "elided" in text
+    assert "no findings" in text
+    manifest = ElisionManifest.load(str(out))
+    assert manifest.elided_checks >= 2
+    assert manifest.schema == 1
+
+
+def test_opt_missing_file_is_an_internal_error(capsys):
+    assert cmd_opt(["/nonexistent/module.s"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_main_multiplexes_opt(tmp_path, capsys):
+    out = tmp_path / "m.json"
+    assert main(["opt", "examples/modules/static_logger.s:"
+                 "logger_fill,logger_set,logger_tally",
+                 "--static-data", "256", "-o", str(out)]) == 0
+    assert out.exists()

@@ -496,3 +496,147 @@ def test_fault_window_symbolizes_runtime_calls():
     assert report.window_source == "trace"
     texts = [entry["text"] for entry in report.instr_window]
     assert any(text.startswith("call hb_st_") for text in texts), texts
+
+
+# =====================================================================
+# Data-region annotations (satellite): data words are data, not code
+# =====================================================================
+DATA_MODULE = """
+entry:
+    ldi r24, 1
+    ret
+table:
+.dw 0xFFFF
+.dw 0x0000
+"""
+
+
+def test_data_words_report_hl011_without_annotation():
+    system = SfiSystem()
+    region, _prog = place_raw(system, DATA_MODULE, name="data")
+    _model, report = lint_system(system, extra_modules=[region])
+    table = region.entries["table"]
+    assert any(d.rule.code == "HL011" and d.byte_addr == table
+               for d in report.diagnostics.findings)
+
+
+def test_data_span_annotation_excludes_data_words():
+    import dataclasses
+    system = SfiSystem()
+    region, _prog = place_raw(system, DATA_MODULE, name="data")
+    table = region.entries["table"]
+    region = dataclasses.replace(
+        region, data_spans=((table, table + 4),),
+        entries={"entry": region.entries["entry"]})
+    _model, report = lint_system(system, extra_modules=[region])
+    in_span = [d for d in report.diagnostics.findings
+               if d.byte_addr is not None
+               and table <= d.byte_addr < table + 4]
+    assert not in_span                        # no HL011, no HL010
+    assert "HL011" not in report.diagnostics.codes()
+
+
+# =====================================================================
+# Widening terminates and over-approximates (hypothesis, satellite)
+# =====================================================================
+from repro.analysis.static import absint  # noqa: E402
+from repro.sim import Machine             # noqa: E402
+
+_SAFE_REGS = (20, 21, 22, 23)
+
+
+def _loop_body_op():
+    d = st.sampled_from(_SAFE_REGS)
+    s = st.sampled_from(_SAFE_REGS)
+    k = st.integers(0, 255)
+    return st.one_of(
+        st.builds("ldi r{}, {}".format, d, k),
+        st.builds("mov r{}, r{}".format, d, s),
+        st.builds("inc r{}".format, d),
+        st.builds("dec r{}".format, d),
+        st.builds("subi r{}, {}".format, d, k),
+        st.builds("andi r{}, {}".format, d, k),
+        st.builds("ori r{}, {}".format, d, k),
+        st.builds("add r{}, r{}".format, d, s),
+        st.builds("eor r{}, r{}".format, d, s),
+        st.builds("lsr r{}".format, d),
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.data())
+def test_widening_terminates_and_overapproximates(data):
+    """Random loop-heavy programs: the fixpoint must terminate without
+    giving up, and the abstract state at ``ret`` must contain the
+    concrete register values an actual run produces (soundness)."""
+    nloops = data.draw(st.integers(1, 3), label="loops")
+    lines = ["f:"]
+    for i in range(nloops):
+        bound = data.draw(st.integers(1, 4), label="bound{}".format(i))
+        body = data.draw(st.lists(_loop_body_op(), min_size=1,
+                                  max_size=5), label="body{}".format(i))
+        lines.append("    ldi r24, {}".format(bound))
+        lines.append("l{}:".format(i))
+        lines.extend("    " + op for op in body)
+        lines.append("    dec r24")
+        lines.append("    brne l{}".format(i))
+    lines.append("    ret")
+    prog = assemble(".org 0x100\n" + "\n".join(lines) + "\n", "h")
+    lo, hi = prog.extent()
+    read = lambda i: prog.words.get(i, 0xFFFF)          # noqa: E731
+    cfg = RegionCFG.build(read, lo * 2, (hi + 1) * 2, name="h")
+    stats = {}
+    in_states = absint.analyze_cfg(cfg, stats=stats)
+    # termination: bound-stable widening caps the ascending chains
+    assert not stats["gave_up"]
+    assert stats["iterations"] <= 20 * len(cfg.blocks) + 20
+    # soundness: every concrete run lands inside the abstract intervals
+    machine = Machine(prog)
+    machine.call("f", max_cycles=50000)
+    ret_addr = next(line.byte_addr for b in cfg.blocks.values()
+                    for line in b.lines
+                    if line.instr is not None and line.instr.key == "ret")
+    state = absint.state_at(cfg, in_states, ret_addr)
+    for reg in _SAFE_REGS + (24,):
+        val = state.get(reg)
+        if val is absint.TOP:
+            continue                          # top contains everything
+        vlo, vhi = absint._as_range(val)
+        assert vlo <= machine.core.reg(reg) <= vhi, \
+            "r{}: concrete {} outside abstract [{}, {}]".format(
+                reg, machine.core.reg(reg), vlo, vhi)
+
+
+# =====================================================================
+# Rule metadata: full descriptions, doc anchors, SARIF export
+# =====================================================================
+def test_rule_metadata_is_complete_and_anchored():
+    for r in RULES:
+        assert r.full.strip(), "rule {} has no full description".format(
+            r.code)
+        assert r.anchor == "{}-{}".format(r.code.lower(), r.slug)
+        assert r.help_uri == "docs/static-analysis.md#" + r.anchor
+
+
+def test_every_rule_has_a_doc_anchor():
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..", "docs",
+                        "static-analysis.md")
+    doc = open(path).read()
+    for r in RULES:
+        heading = "### {} {}".format(r.code, r.slug)
+        assert heading in doc, "missing doc section {!r}".format(heading)
+
+
+def test_sarif_rules_carry_full_descriptions(tmp_path):
+    report = _lint_broken()
+    path = str(tmp_path / "lint.sarif")
+    write_report(path, report.diagnostics, fmt="sarif")
+    doc = json.loads(open(path).read())
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert rules
+    for entry in rules:
+        assert entry["fullDescription"]["text"]
+        assert entry["helpUri"].startswith("docs/static-analysis.md#hl")
+        code = entry["id"].lower()
+        assert entry["helpUri"].split("#")[1].startswith(code)
