@@ -1,0 +1,57 @@
+"""Hostile-corpus throughput: what one soundness-campaign minute buys.
+
+Runs a short seeded campaign (``repro.soundness``) against both
+enforcement systems and reports the admission/outcome mix and the
+candidate throughput — the number that sizes the nightly burn-down
+budget (10k candidates ≈ 2 minutes on a laptop).
+
+This is a corpus *generator* workload, not a paper table: its cost is
+dominated by the admission pipeline (rewrite → verify → elide), so it
+is excluded from ``run_all.py --quick``.
+"""
+
+import time
+
+from repro.analysis.tables import render_table
+from repro.soundness import Campaign
+
+SEED = 2007
+COUNT = 120
+
+
+def build_table(count=COUNT, seed=SEED):
+    rows = []
+    stats_by_kind = {}
+    for kind in ("sfi", "umpu"):
+        campaign = Campaign(kind, seed=seed)
+        start = time.perf_counter()
+        stats = campaign.run(count)
+        elapsed = time.perf_counter() - start
+        stats_by_kind[kind] = stats
+        rows.append((kind, stats.total, stats.executed,
+                     sum(stats.rejected.values()),
+                     stats.outcomes.get("contained", 0),
+                     stats.outcomes.get("clean", 0),
+                     len(stats.escapes),
+                     "{:.0f}/s".format(stats.total / elapsed)))
+    table = render_table(
+        "Hostile-corpus campaign ({} candidates/system, seed {})".format(
+            count, seed),
+        ("system", "total", "executed", "rejected", "contained",
+         "clean", "escapes", "throughput"),
+        rows,
+        note="escapes must be 0: a verified/hardware-checked module "
+             "never writes outside its domain")
+    return stats_by_kind, table
+
+
+def test_corpus_has_zero_escapes():
+    stats_by_kind, table = build_table(count=60)
+    print(table)
+    for kind, stats in stats_by_kind.items():
+        assert stats.escapes == [], kind
+        assert stats.executed > 0, kind
+
+
+if __name__ == "__main__":
+    print(build_table()[1])

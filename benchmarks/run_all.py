@@ -41,7 +41,14 @@ MODULES = [
     ("bench_safe_stack_depth", "Safe-stack sizing"),
     ("bench_verifier_space", "Verifier design space"),
     ("bench_elision", "Proof-directed check elision"),
+    ("bench_fuzz_corpus", "Hostile-corpus soundness campaign"),
 ]
+
+#: modules skipped under ``--quick``: corpus generators / stress
+#: workloads whose runtime buys no additional table or figure
+QUICK_EXCLUDE = {
+    "bench_fuzz_corpus",
+}
 
 
 def collect_metrics(path, iterations=8):
@@ -71,8 +78,13 @@ def main(argv=None):
                         help="run the UMPU metrics workload after the "
                              "tables and write the registry JSON here "
                              "(stdout stays byte-identical)")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the corpus/stress workloads ({})"
+                        .format(", ".join(sorted(QUICK_EXCLUDE))))
     args = parser.parse_args(argv)
     for name, label in MODULES:
+        if args.quick and name in QUICK_EXCLUDE:
+            continue
         module = importlib.import_module(name)
         print()
         print("#" * 70)

@@ -141,6 +141,27 @@ RULES = tuple(Rule(*fields) for fields in (
      "in-domain-static under the whole-image analyzer.  A stale or "
      "forged manifest would let unchecked raw stores through the "
      "verifier."),
+    ("HL015", "save-restore-desync", "error",
+     "control flow can execute hb_save_ret unpaired",
+     "The hb_save_ret prologue reads the return address out of the "
+     "frame the entering call just pushed, so it must be reachable "
+     "only by a call: never by fall-through, jump, branch or skip, "
+     "and every internal call must enter through such a prologue.  "
+     "Any other path executes save and restore unpaired, spooling a "
+     "garbage word to the safe stack; once the pop order is off by "
+     "one, a later cross-domain return reinterprets module-controlled "
+     "words as a saved domain/stack-bound frame — an isolation "
+     "escape."),
+    ("HL016", "stack-pointer-drift", "error",
+     "push/pop traffic is not depth-consistent",
+     "hb_restore_ret rewrites the return-address slot at a fixed "
+     "offset from SP, so the module must reach every ret with the "
+     "stack pointer exactly where the entering call left it.  A pop "
+     "past the frame, a restore call or prologue at nonzero push "
+     "depth, or a jump/branch/skip whose target sits at a different "
+     "push depth lets the module drift SP, pointing the slot rewrite "
+     "— and the following ret — at a module-controlled or "
+     "caller-owned stack slot."),
 ))
 
 RULE_BY_CODE = {rule.code: rule for rule in RULES}

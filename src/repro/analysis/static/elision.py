@@ -336,6 +336,62 @@ def build_manifest(name, domain, rewritten, proofs, read_word=None):
         sites=sites)
 
 
+#: adversarial manifest mutations the soundness fuzzer draws from; each
+#: changes a *security-relevant* claim (intervals are deliberately not
+#: in the list: verify_manifest re-proves from scratch and treats them
+#: as human-facing evidence, so corrupting them must not and does not
+#: change any admission decision)
+MANIFEST_ATTACKS = ("site-pc", "forged-site", "site-kind", "checksum",
+                    "span", "domain")
+
+
+def corrupt_manifest(manifest, attack, rng):
+    """A forged/stale variant of *manifest* for the soundness campaign.
+
+    *attack* is one of :data:`MANIFEST_ATTACKS`; *rng* is a seeded
+    ``random.Random``.  Returns a new manifest making a claim the
+    verifier must reject: a shifted site pc, a site fabricated at a pc
+    with no provable store, a non-elidable proof kind, a checksum for a
+    different image, a shifted code span, or a wrong domain.  Feeding
+    these through ``Verifier.verify(..., manifest=)`` and
+    :func:`verify_manifest` and observing anything but a rejection is
+    an isolation escape.
+    """
+    sites = [StoreProof.from_dict(site.to_dict())
+             for site in manifest.sites]
+    forged = ElisionManifest(
+        module=manifest.module, domain=manifest.domain,
+        start=manifest.start, end=manifest.end,
+        checksum=manifest.checksum, sites=sites)
+    if attack == "site-pc" and sites:
+        # an odd pc can never name an instruction boundary, so the
+        # mutated claim is unsatisfiable by construction (no chance of
+        # accidentally landing on another provable site)
+        site = rng.choice(sites)
+        site.pc += rng.choice((-1, 1, 3))
+    elif attack == "forged-site":
+        # the final word of the region is the module's terminal ret (by
+        # campaign construction), never a provable store
+        sites.append(StoreProof(pc=manifest.end - 2, key="sts",
+                                kind=PROOF_IN_DOMAIN,
+                                lo=0, hi=0xFFFF, rule="forged"))
+    elif attack == "site-kind" and sites:
+        site = rng.choice(sites)
+        site.kind = rng.choice((PROOF_FAULTING, PROOF_UNKNOWN))
+    elif attack == "checksum":
+        forged.checksum = manifest.checksum ^ (1 << rng.randrange(32))
+    elif attack == "span":
+        shift = rng.choice((-4, -2, 2, 4))
+        forged.start = max(0, manifest.start + shift)
+    elif attack == "domain":
+        forged.domain = (manifest.domain + 1 + rng.randrange(6)) % 7
+    else:
+        # an empty-site manifest degenerates to the checksum attack so
+        # every draw produces a hostile artifact
+        forged.checksum = manifest.checksum ^ 1
+    return forged
+
+
 def verify_manifest(read_word, layout, runtime_symbols, manifest,
                     entries=(), proofs=None, cfg=None):
     """Re-check a manifest against the live image.

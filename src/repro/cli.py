@@ -28,6 +28,12 @@ Installed as console scripts (see ``pyproject.toml``):
   overhead estimation and dead-code detection, reported with stable
   ``HLxxx`` rule codes (text, JSON or SARIF); see
   ``docs/static-analysis.md``.
+* ``harbor-fuzz [--system sfi|umpu|both] [--count N] [--seed S]`` —
+  adversarial soundness campaign: generate seeded hostile modules,
+  drive them through the admission pipeline, execute the admitted ones
+  on both execution paths under a write oracle and exit non-zero on
+  any isolation escape; ``--index`` replays one candidate,
+  ``--artifacts`` dumps escape records; see ``docs/soundness.md``.
 * ``harbor-opt MODULE[:EXPORTS] [...]`` — proof-directed check elision:
   load modules with the prover enabled, strip run-time store checks it
   proves redundant against the layout's static data spans, write the
@@ -634,6 +640,82 @@ def cmd_opt(argv=None):
     return 1 if _findings_at_or_above(engine, args.fail_on) else 0
 
 
+def cmd_fuzz(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-fuzz",
+        description="adversarial soundness campaign: generate hostile "
+                    "modules, drive them through the admission "
+                    "pipeline, execute the admitted ones on both "
+                    "execution paths under a write oracle and report "
+                    "any isolation escape")
+    parser.add_argument("--system", choices=("sfi", "umpu", "both"),
+                        default="both",
+                        help="which enforcement system(s) to attack "
+                             "(default: both)")
+    parser.add_argument("--count", type=int, default=1000, metavar="N",
+                        help="candidates per system (default: 1000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    parser.add_argument("--start", type=int, default=0, metavar="INDEX",
+                        help="first candidate index (default: 0)")
+    parser.add_argument("--index", type=int, default=None,
+                        metavar="INDEX",
+                        help="replay exactly one candidate index "
+                             "(prints its source/words and verdict)")
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help="per-call cycle budget (default: 20000)")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="dump escape artifacts (JSON + .asm) here")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full stats as JSON")
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.soundness import Campaign, dump_escape
+    from repro.soundness.fuzzer import DEFAULT_MAX_CYCLES
+
+    kinds = ("sfi", "umpu") if args.system == "both" else (args.system,)
+    max_cycles = args.max_cycles or DEFAULT_MAX_CYCLES
+    escaped = False
+    for kind in kinds:
+        campaign = Campaign(kind, seed=args.seed, max_cycles=max_cycles)
+        if args.index is not None:
+            result = campaign.run_one(args.index)
+            candidate = result["candidate"]
+            print("# {} candidate {} (family {}, seed {})".format(
+                kind, args.index, candidate.family, args.seed))
+            if candidate.source:
+                sys.stdout.write(candidate.source)
+            else:
+                for addr, word in sorted(candidate.program.words.items()):
+                    print("{:04x}: {:04x}".format(addr, word))
+            print("verdict: {}".format(
+                "ESCAPE" if result["escape"] else
+                "rejected at {}".format(result["rejected"][0])
+                if "rejected" in result else
+                "outcomes {}".format(result.get("outcomes"))))
+        else:
+            campaign.run(args.count, start=args.start)
+            print("{}: {}".format(kind, campaign.stats.summary()))
+        if args.json:
+            print(json.dumps(campaign.stats.to_dict(), indent=2,
+                             sort_keys=True, default=str))
+        if campaign.stats.escapes:
+            escaped = True
+            for escape in campaign.stats.escapes:
+                if args.artifacts:
+                    path = dump_escape(args.artifacts, escape,
+                                       prefix=kind + "-")
+                    print("escape artifact -> {}".format(path),
+                          file=sys.stderr)
+                else:
+                    print("ESCAPE: {}".format(
+                        json.dumps(escape, default=str)[:400]),
+                        file=sys.stderr)
+    return 1 if escaped else 0
+
+
 def main(argv=None):
     """Multiplexer: ``python -m repro.cli <tool> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -641,11 +723,11 @@ def main(argv=None):
              "rewrite": cmd_rewrite, "verify": cmd_verify,
              "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile,
              "explain-fault": cmd_explain_fault, "metrics": cmd_metrics,
-             "lint": cmd_lint, "opt": cmd_opt}
+             "lint": cmd_lint, "opt": cmd_opt, "fuzz": cmd_fuzz}
     if not argv or argv[0] not in tools:
         print("usage: python -m repro.cli "
               "{asm|disasm|rewrite|verify|run|trace|profile|"
-              "explain-fault|metrics|lint|opt} ...",
+              "explain-fault|metrics|lint|opt|fuzz} ...",
               file=sys.stderr)
         return 64
     return tools[argv[0]](argv[1:])

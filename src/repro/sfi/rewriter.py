@@ -45,11 +45,19 @@ class RewriteError(Exception):
 
 
 # Operand placeholders resolved at layout time:
-#   ("old", byte_addr)  - a location in the original module
-#   ("sym", name)       - a runtime symbol (stub entry)
-#   ("abs", byte_addr)  - an absolute, non-moving address (jump table)
+#   ("old", byte_addr)     - a location in the original module; resolves
+#                            to the inserted prologue when the location
+#                            is a function entry (calls enter through it)
+#   ("oldbody", byte_addr) - same location, but resolving *past* any
+#                            inserted prologue: jumps and branches must
+#                            not re-execute hb_save_ret (it reads the
+#                            frame a call just pushed — entering it any
+#                            other way desyncs the safe stack)
+#   ("sym", name)          - a runtime symbol (stub entry)
+#   ("abs", byte_addr)     - an absolute, non-moving address (jump table)
 def _is_placeholder(op):
-    return isinstance(op, tuple) and op and op[0] in ("old", "sym", "abs")
+    return isinstance(op, tuple) and op and \
+        op[0] in ("old", "oldbody", "sym", "abs")
 
 
 @dataclass
@@ -61,6 +69,9 @@ class _Item:
     old_addr: int = None    # original byte address (first item of a group)
     new_addr: int = None
     size_words: int = 1
+    #: this item is an inserted ``call hb_save_ret`` prologue: it
+    #: shadows its old address for calls but not for jumps/branches
+    prologue: bool = False
     #: original byte address of the store this item realizes: set on
     #: the check-stub ``call`` (checked store) or on the raw store
     #: instruction itself (elided store), so the elision pass can map
@@ -129,24 +140,80 @@ class Rewriter:
         """
         lines = disassemble(module)
         entry_addrs = self._find_entries(module, lines, exports, entries)
+        self._check_stack_discipline(lines)
         self._elide = frozenset(elide)
         items = []
         stats = {"stores": 0, "cross_calls": 0, "rets": 0, "icalls": 0,
-                 "prologues": 0, "elided_stores": 0}
+                 "prologues": 0, "elided_stores": 0, "entry_guards": 0}
+        prev_key = None
         for line in lines:
             if line.instr is None:
                 raise RewriteError(
                     "undecodable word 0x{:04x} at 0x{:04x}: modules must "
                     "be pure code".format(line.words[0], line.byte_addr))
             if line.byte_addr in entry_addrs:
+                if prev_key is not None and \
+                        prev_key not in ("ret", "rjmp", "jmp"):
+                    # the entry is also reachable by fall-through (e.g.
+                    # a called loop head): hop the sequential path over
+                    # the prologue — hb_save_ret must only ever run on
+                    # the frame a call just pushed
+                    items.append(_Item(
+                        "rjmp", (("oldbody", line.byte_addr),)))
+                    stats["entry_guards"] += 1
                 items.append(_Item("call", (("sym", "hb_save_ret"),),
-                                   old_addr=line.byte_addr))
+                                   old_addr=line.byte_addr,
+                                   prologue=True))
                 stats["prologues"] += 1
             items.extend(self._transform(line, stats))
+            prev_key = line.instr.key
         layout_items = self._layout(items, new_origin)
         return self._emit(module, layout_items, new_origin, exports, stats)
 
     # ------------------------------------------------------------------
+    def _check_stack_discipline(self, lines):
+        """Reject sources whose push/pop traffic the sandbox cannot keep
+        sound: ``hb_restore_ret`` rewrites the return-address slot at a
+        fixed SP offset, so the module must reach every ``ret`` with the
+        stack pointer exactly where the entering call left it.  A pop
+        past the frame (or a branch whose target sits at a different
+        push depth) drifts SP into the caller's frames; the verifier
+        rejects such images outright (rule HL016), so error here with a
+        source-level message instead of emitting a doomed binary."""
+        depth = 0
+        depth_in = {}
+        edges = []
+        for line in lines:
+            if line.instr is None:
+                continue
+            addr = line.byte_addr
+            depth_in[addr] = depth
+            key = line.instr.key
+            if key == "push":
+                depth += 1
+            elif key == "pop":
+                if depth == 0:
+                    raise RewriteError(
+                        "pop without a matching push at 0x{:04x}: the "
+                        "module would pop its caller's frame"
+                        .format(addr))
+                depth -= 1
+            elif key in ("brbs", "brbc"):
+                target = addr + 2 + 2 * line.instr.operands[1]
+                edges.append((target, addr, depth))
+            elif key in ("jmp", "rjmp"):
+                edges.append((self._static_target(line), addr, depth))
+            elif key == "ret" and depth != 0:
+                raise RewriteError(
+                    "ret at 0x{:04x} with {} unmatched push(es)"
+                    .format(addr, depth))
+        for target, addr, edge_depth in edges:
+            if depth_in.get(target, edge_depth) != edge_depth:
+                raise RewriteError(
+                    "branch at 0x{:04x} changes the push depth ({} -> "
+                    "{} at 0x{:04x})".format(
+                        addr, edge_depth, depth_in.get(target), target))
+
     def _find_entries(self, module, lines, exports, entries):
         addrs = set()
         for name in list(exports) + list(entries):
@@ -210,7 +277,7 @@ class Rewriter:
             return [_Item("call", (("old", target),), old_addr=old)]
         if key in ("jmp", "rjmp"):
             target = self._static_target(line)
-            return [_Item("rjmp", (("old", target),), old_addr=old)]
+            return [_Item("rjmp", (("oldbody", target),), old_addr=old)]
         if key == "ret":
             stats["rets"] += 1
             return [
@@ -219,7 +286,7 @@ class Rewriter:
             ]
         if key in ("brbs", "brbc"):
             target = old + 2 + 2 * instr.operands[1]
-            return [_Item(key, (instr.operands[0], ("old", target)),
+            return [_Item(key, (instr.operands[0], ("oldbody", target)),
                           old_addr=old)]
         # everything else is safe and position-independent
         return [_Item(key, instr.operands, old_addr=old)]
@@ -293,16 +360,24 @@ class Rewriter:
         for _round in range(64):
             addr = new_origin
             addr_map = {}
+            body_map = {}
             for item in items:
                 item.compute_size()
                 item.new_addr = addr
-                if item.old_addr is not None and item.old_addr not in \
-                        addr_map:
+                if item.old_addr is not None:
                     # first item claiming an old address wins: an
                     # inserted prologue must shadow the instruction it
-                    # precedes so that calls enter through it
-                    addr_map[item.old_addr] = addr
+                    # precedes so that calls enter through it...
+                    if item.old_addr not in addr_map:
+                        addr_map[item.old_addr] = addr
+                    # ...but jumps and branches resolve past the
+                    # prologue (re-executing hb_save_ret without a call
+                    # frame would desync the safe stack)
+                    if not item.prologue and item.old_addr not in \
+                            body_map:
+                        body_map[item.old_addr] = addr
                 addr += item.size_words * 2
+            self._body_map = body_map
             relaxed = self._relax(items, addr_map)
             if not relaxed:
                 self._addr_map = addr_map
@@ -318,12 +393,13 @@ class Rewriter:
             return self.runtime[value]
         if kind == "abs":
             return value
-        if kind == "old":
-            if value not in addr_map:
+        if kind in ("old", "oldbody"):
+            table = self._body_map if kind == "oldbody" else addr_map
+            if value not in table:
                 raise RewriteError(
                     "branch/call into unmapped address 0x{:04x} "
                     "(outside the module?)".format(value))
-            return addr_map[value]
+            return table[value]
         raise ValueError(op)
 
     def _relax(self, items, addr_map):

@@ -350,6 +350,23 @@ class SfiSystem:
         self._free_domains.append(module.domain)
         return module
 
+    # --- snapshot/restore ---------------------------------------------
+    def snapshot(self):
+        """Capture machine + loader state for :meth:`restore`.
+
+        All protection state of the software system lives in trusted
+        SRAM cells, so the machine snapshot already carries it; the
+        system layer only adds the host-side loader bookkeeping (loaded
+        modules, next load address, free domains, linker exports)."""
+        from repro.sim.snapshot import MachineSnapshot
+        return MachineSnapshot.capture_system(self)
+
+    def restore(self, snap):
+        """Restore a :meth:`snapshot`; the memmap/cur_domain views read
+        the restored SRAM directly, so no rebuild is needed."""
+        snap.apply_system(self)
+        return self
+
     # ------------------------------------------------------------------
     def _fault_exception(self):
         mem = self.machine.memory

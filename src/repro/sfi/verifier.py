@@ -22,7 +22,26 @@ Accepted modules satisfy:
    (the constant state: one "just saw the restore stub" flag);
 6. a 32-bit instruction is never branched into the middle of — enforced
    structurally by linear decode plus (3)/(4) confining targets to
-   decoded instruction boundaries.
+   decoded instruction boundaries;
+7. the save/restore protocol sites are entered the one way the runtime
+   assumes: a ``call hb_save_ret`` prologue is reached **only by a
+   call** (never by fall-through, jump, branch or skip — it reads the
+   caller frame the call just pushed), every internal call enters
+   through such a prologue, and no jump/branch/skip lands directly on
+   a ``ret`` (which would bypass the restore stub rule (5) checked
+   statically).  Violations are the save/restore *desync* family: an
+   unpaired save spools a garbage word to the safe stack, and once the
+   pop order is off by one a later cross-domain return reinterprets
+   module-controlled words as a saved domain/stack-bound frame;
+8. push/pop traffic is *depth-consistent*: the net push depth along the
+   linear scan never goes negative, is zero at every ``call
+   hb_restore_ret`` and every prologue, and every jump/branch/skip edge
+   lands at its own depth.  ``hb_restore_ret`` rewrites the return-
+   address slot at a fixed offset from SP, so any stack-pointer drift
+   the module smuggles past this rule would point the rewrite (and the
+   following ``ret``) at a module-controlled slot.  The bookkeeping is
+   one counter plus a per-boundary depth record — the same class of
+   state as the boundary set of rule 6.
 """
 
 from dataclasses import dataclass, field
@@ -79,12 +98,18 @@ class Verifier:
         "std_y", "std_z", "sts",
     })
 
+    #: keys after which execution cannot fall through to the next
+    #: instruction (rule 7: the only ones allowed to precede a
+    #: ``call hb_save_ret`` prologue)
+    NO_FALL_THROUGH_KEYS = frozenset({"ret", "rjmp", "jmp"})
+
     def __init__(self, runtime_symbols, layout=None, allowed_io=()):
         self.layout = layout or SfiLayout()
         self.entry_addrs = {runtime_symbols[name]
                             for name in RUNTIME_ENTRIES
                             if name in runtime_symbols}
         self.restore_addr = runtime_symbols.get("hb_restore_ret")
+        self.save_addr = runtime_symbols.get("hb_save_ret")
         self.allowed_io = frozenset(allowed_io)
         self._collector = None
 
@@ -154,15 +179,38 @@ class Verifier:
         self._report = report
         saw_restore_call = False
         branch_targets = []
+        jump_targets = []    # (target, addr, depth): no call edges
+        internal_calls = []
+        save_sites = []      # (addr, key of the preceding instruction)
+        ret_addrs = set()
+        prev_key = None
+        skip_addr = None     # pending skip instruction, if any
+        depth = 0            # net push depth along the linear scan
+        depth_in = {}        # byte addr -> depth on entry (rule 8)
         for line in lines:
             addr = line.byte_addr
             report.boundaries.add(addr)
+            depth_in[addr] = depth
             if line.instr is None:
                 self._violation(
                     "HL011", "undecodable word 0x{:04x}"
                     .format(line.words[0]), addr)
+                prev_key = None
+                skip_addr = None
                 continue
             key = line.instr.key
+            if skip_addr is not None:
+                # a skip leaps over exactly this instruction: its
+                # landing point is an implicit control-transfer target
+                landing = addr + 2 * len(line.words)
+                if landing < end:
+                    jump_targets.append((landing, skip_addr, depth))
+                else:
+                    self._violation(
+                        "HL006",
+                        "skip over the last instruction escapes the "
+                        "sandbox", skip_addr)
+                skip_addr = None
             report.instructions += 1
             if key in self.FORBIDDEN_KEYS:
                 self._forbidden_key(key, line, branch_targets)
@@ -175,9 +223,19 @@ class Verifier:
                     report.calls_to_runtime += 1
                     if target == self.restore_addr:
                         saw_restore_call = True
+                        if depth != 0:
+                            self._violation(
+                                "HL016",
+                                "call hb_restore_ret with {} unmatched "
+                                "push(es): the restore stub would "
+                                "rewrite the wrong stack slot"
+                                .format(depth), addr)
+                    if target == self.save_addr:
+                        save_sites.append((addr, prev_key))
                 elif start <= target < end:
                     report.internal_calls += 1
                     branch_targets.append((target, addr))
+                    internal_calls.append((target, addr))
                 else:
                     self._violation(
                         "HL002" if self._in_jump_table(target)
@@ -196,6 +254,7 @@ class Verifier:
                         .format(target), addr)
                 else:
                     branch_targets.append((target, addr))
+                    jump_targets.append((target, addr, depth))
             elif key in ("brbs", "brbc"):
                 target = addr + 2 + 2 * line.instr.operands[-1]
                 if not start <= target < end:
@@ -205,12 +264,32 @@ class Verifier:
                         .format(target), addr)
                 else:
                     branch_targets.append((target, addr))
+                    jump_targets.append((target, addr, depth))
+            elif line.instr.spec.kind == "skip":
+                skip_addr = addr
+            elif key == "push":
+                depth += 1
+            elif key == "pop":
+                if depth == 0:
+                    self._violation(
+                        "HL016",
+                        "pop without a matching push pops the caller's "
+                        "frame (stack-pointer drift)", addr)
+                else:
+                    depth -= 1
             elif key == "ret":
                 report.rets += 1
+                ret_addrs.add(addr)
                 if not was_restore:
                     self._violation(
                         "HL003",
                         "ret not preceded by call hb_restore_ret", addr)
+            prev_key = key
+        if skip_addr is not None:
+            self._violation(
+                "HL006",
+                "skip as the last instruction escapes the sandbox",
+                skip_addr)
         # second half of the constant-state scan: every internal control
         # transfer must land on an instruction boundary
         for target, addr in branch_targets:
@@ -219,8 +298,61 @@ class Verifier:
                     "HL004",
                     "control transfer into the middle of an instruction "
                     "(target 0x{:04x})".format(target), addr)
+        self._check_save_restore_discipline(
+            save_sites, internal_calls, jump_targets, ret_addrs,
+            depth_in, start)
         self._check_protected_targets(branch_targets)
         return report
+
+    def _check_save_restore_discipline(self, save_sites, internal_calls,
+                                       jump_targets, ret_addrs,
+                                       depth_in, start):
+        """Rule 7: the safe-stack protocol sites must only be reachable
+        the way the runtime assumes (see the module docstring).
+
+        ``hb_save_ret`` reads the return address out of the frame the
+        entering ``call`` just pushed; executing it on any other path
+        spools a garbage word onto the safe stack, and an off-by-one in
+        the pop order later hands module-controlled words back as a
+        saved domain/stack-bound frame — a full isolation escape (found
+        by the hostile-module fuzzer, ``repro.soundness``)."""
+        save_set = {addr for addr, _ in save_sites}
+        for addr, prev in save_sites:
+            if addr != start and prev not in self.NO_FALL_THROUGH_KEYS:
+                self._violation(
+                    "HL015",
+                    "hb_save_ret prologue reachable by fall-through "
+                    "(would run without a call frame)", addr)
+            if depth_in.get(addr, 0) != 0:
+                self._violation(
+                    "HL016",
+                    "hb_save_ret prologue at nonzero push depth",
+                    addr)
+        for target, addr in internal_calls:
+            if target not in save_set:
+                self._violation(
+                    "HL015",
+                    "internal call bypasses the hb_save_ret prologue "
+                    "(target 0x{:04x})".format(target), addr)
+        for target, addr, edge_depth in jump_targets:
+            if target in save_set:
+                self._violation(
+                    "HL015",
+                    "jump, branch or skip into a hb_save_ret prologue "
+                    "(target 0x{:04x})".format(target), addr)
+            if target in ret_addrs:
+                self._violation(
+                    "HL003",
+                    "jump, branch or skip to ret bypasses "
+                    "hb_restore_ret (target 0x{:04x})".format(target),
+                    addr)
+            if depth_in.get(target, edge_depth) != edge_depth:
+                self._violation(
+                    "HL016",
+                    "control transfer changes the push depth ({} -> {} "
+                    "at target 0x{:04x})".format(
+                        edge_depth, depth_in.get(target), target),
+                    addr)
 
     def _in_jump_table(self, target):
         return self.layout.jt_base <= target < self.layout.jt_end

@@ -13,6 +13,7 @@ from repro.sim.events import AccessKind, BusEvent, BusTracer
 from repro.sim.interrupts import InterruptController
 from repro.sim.machine import CALL_SENTINEL_WORD, Machine
 from repro.sim.memory import Memory
+from repro.sim.snapshot import SNAPSHOT_SCHEMA, MachineSnapshot
 
 __all__ = [
     "BusInterposer",
@@ -32,5 +33,7 @@ __all__ = [
     "InterruptController",
     "CALL_SENTINEL_WORD",
     "Machine",
+    "MachineSnapshot",
+    "SNAPSHOT_SCHEMA",
     "Memory",
 ]

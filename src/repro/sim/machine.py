@@ -131,6 +131,40 @@ class Machine:
             self.forensics.capture(fault)
         return fault
 
+    # --- snapshot/restore ---------------------------------------------
+    def snapshot(self):
+        """Capture the complete architectural state (memory, flash,
+        core counters) as a :class:`~repro.sim.snapshot.MachineSnapshot`
+        for later :meth:`restore` — record-replay, fuzzing from a
+        common post-load state, bisection."""
+        from repro.sim.snapshot import MachineSnapshot
+        return MachineSnapshot.capture(self)
+
+    def restore(self, snap):
+        """Restore a state captured by :meth:`snapshot`.  Attached
+        observers (trace/profiler/metrics/debugger) are left in place;
+        the decode cache is invalidated."""
+        snap.apply(self)
+        return self
+
+    def _snapshot_extra(self):
+        """Machine-subclass architectural state beyond the memory
+        arrays; the base machine keeps everything in memory/core.  The
+        interrupt controller's pending lines ride along when one is
+        attached."""
+        extra = {}
+        interrupts = self.core.interrupts
+        if interrupts is not None:
+            extra["irq_pending"] = frozenset(interrupts.pending)
+            extra["irq_raised_at"] = dict(interrupts._raised_at)
+        return extra
+
+    def _restore_extra(self, extra):
+        interrupts = self.core.interrupts
+        if interrupts is not None and "irq_pending" in extra:
+            interrupts.pending = set(extra["irq_pending"])
+            interrupts._raised_at = dict(extra["irq_raised_at"])
+
     # ------------------------------------------------------------------
     def resolve(self, target):
         """Resolve *target* (label name or byte address) to a byte addr."""

@@ -43,8 +43,19 @@ class Memory:
         return self.read_data(addr) | (self.read_data(addr + 1) << 8)
 
     def write_word_data(self, addr, value):
-        self.write_data(addr, value & 0xFF)
-        self.write_data(addr + 1, (value >> 8) & 0xFF)
+        """Little-endian 16-bit write (low byte at *addr*).
+
+        All-or-nothing like :meth:`fill_data`: both addresses are
+        bounds-checked before either byte lands, so a word straddling
+        the end of the data space writes nothing at all (instead of
+        tearing: low byte written, then the high-byte check raises).
+        """
+        if not 0 <= addr <= self.geometry.data_end:
+            raise InvalidAccess(addr)
+        if addr + 1 > self.geometry.data_end:
+            raise InvalidAccess(addr + 1)
+        self.data[addr] = value & 0xFF
+        self.data[addr + 1] = (value >> 8) & 0xFF
 
     def fill_data(self, addr, data):
         """Bulk-load *data* bytes starting at data address *addr*.
@@ -71,6 +82,12 @@ class Memory:
         return self.data[n] | (self.data[n + 1] << 8)
 
     def set_reg_pair(self, n, value):
+        # callers reach this with data-space addresses too (the sp/sreg
+        # properties address the I/O window through it), so it needs the
+        # same all-or-nothing guard as write_word_data: a pair at
+        # data_end must not write the low byte before an IndexError
+        if not 0 <= n or n + 1 > self.geometry.data_end:
+            raise InvalidAccess(n if n < 0 else n + 1)
         self.data[n] = value & 0xFF
         self.data[n + 1] = (value >> 8) & 0xFF
 

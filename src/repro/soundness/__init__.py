@@ -1,0 +1,45 @@
+"""repro.soundness — adversarial validation of the isolation claims.
+
+The verifier, harbor-lint and the elision prover are load-bearing
+security claims: the paper's whole point is that a verified module
+*cannot* write outside its domain.  This package attacks those claims
+at scale instead of assuming them:
+
+* :class:`~repro.soundness.oracle.WriteOracle` — a last-in-chain bus
+  interposer that replays every *landed* write against the golden
+  store-permission model (:class:`~repro.core.checker.WriteChecker`)
+  and records any untrusted module write the model rejects as an
+  **escape**;
+* :class:`~repro.soundness.fuzzer.HostileModuleGenerator` /
+  :class:`~repro.soundness.fuzzer.Campaign` — a seeded generator of
+  adversarial modules (store-boundary idioms, hostile control flow,
+  hand-crafted encodings, forged/stale elision manifests) driven
+  through the full admission pipeline and executed on both the fast
+  loop and the instrumented ``step()`` path, differentially;
+* :mod:`~repro.soundness.triage` — every escape candidate auto-dumps a
+  replay seed, the (minimized) module source and the FlightRecorder
+  fault reports as a JSON artifact.
+
+CLI: ``python -m repro.cli fuzz`` / ``harbor-fuzz``; docs in
+``docs/soundness.md``.
+"""
+
+from repro.soundness.oracle import EscapeRecord, SfiWriteOracle, \
+    UmpuWriteOracle, WriteOracle
+from repro.soundness.fuzzer import Campaign, CampaignStats, Candidate, \
+    HostileModuleGenerator, FAMILIES
+from repro.soundness.triage import dump_escape, minimize_source
+
+__all__ = [
+    "WriteOracle",
+    "SfiWriteOracle",
+    "UmpuWriteOracle",
+    "EscapeRecord",
+    "HostileModuleGenerator",
+    "Candidate",
+    "Campaign",
+    "CampaignStats",
+    "FAMILIES",
+    "dump_escape",
+    "minimize_source",
+]

@@ -1,0 +1,80 @@
+"""Escape triage: replayable artifacts and module minimization.
+
+Every escape candidate the campaign flags is dumped as a pair of
+files:
+
+* ``escape-<index>-<family>.json`` — the full replay record: seed,
+  index, family, generated source / word stream, the escape reasons
+  (oracle records, differential diffs, forgery verdicts) and the most
+  recent FlightRecorder fault reports;
+* ``escape-<index>-<family>.asm`` — the module source on its own, for
+  direct ``harbor-asm`` / ``harbor-rewrite`` replay.
+
+Replay is ``harbor-fuzz --system <kind> --seed <seed> --index
+<index>`` — candidate generation is a pure function of (seed, index).
+
+:func:`minimize_source` is a greedy line-deletion reducer (ddmin-lite)
+used to shrink an escaping module to the smallest source that still
+trips the predicate.
+"""
+
+import json
+import os
+
+
+def dump_escape(directory, escape, prefix="", reports=None):
+    """Write one escape record; returns the JSON artifact path.
+
+    *escape* is the dict the campaign collects in ``stats.escapes``
+    (``candidate`` / ``reasons`` / ``forgery`` / ``outcomes``).
+    *reports* takes FlightRecorder-style reports with ``to_dict()``;
+    when None the process-recent report ring is used.
+    """
+    os.makedirs(directory, exist_ok=True)
+    candidate = escape.get("candidate", {})
+    stem = "{}escape-{:06d}-{}".format(
+        prefix, candidate.get("index", 0),
+        candidate.get("family", "unknown"))
+    if reports is None:
+        from repro.trace.forensics import RECENT_REPORTS
+        reports = list(RECENT_REPORTS)
+    payload = dict(escape)
+    payload["fault_reports"] = [r.to_dict() for r in reports]
+    path = os.path.join(directory, stem + ".json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    source = candidate.get("source")
+    if source:
+        with open(os.path.join(directory, stem + ".asm"), "w") as fh:
+            fh.write(source)
+    return path
+
+
+def minimize_source(source, still_fails, max_probes=2000):
+    """Greedy delta-debugging over source lines.
+
+    Repeatedly deletes line chunks (halving the chunk size) while
+    ``still_fails(candidate_source)`` keeps returning True.  The
+    predicate must treat *any* error as "does not fail the same way"
+    (return False) so minimization never replaces one bug with
+    another.  Returns the minimized source (always still failing).
+    """
+    lines = [ln for ln in source.splitlines() if ln.strip()]
+    probes = 0
+    changed = True
+    while changed and probes < max_probes:
+        changed = False
+        chunk = max(1, len(lines) // 2)
+        while chunk >= 1 and probes < max_probes:
+            i = 0
+            while i < len(lines) and probes < max_probes:
+                trial = lines[:i] + lines[i + chunk:]
+                probes += 1
+                if trial and still_fails("\n".join(trial) + "\n"):
+                    lines = trial
+                    changed = True
+                else:
+                    i += chunk
+            chunk //= 2
+    return "\n".join(lines) + "\n"

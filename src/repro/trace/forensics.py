@@ -367,6 +367,19 @@ class FlightRecorder:
         self.reports = []
 
 
+def reset():
+    """Clear the process-wide :data:`RECENT_REPORTS` ring.
+
+    Fault reports are process-global state (by design: the pytest
+    failure hook and CI artifact export read them after the machine is
+    gone), which means they leak across machines unless explicitly
+    reset.  Test harnesses (an autouse fixture in ``tests/conftest.py``)
+    and fuzzer iterations call this between runs so no run can observe
+    another's faults.
+    """
+    RECENT_REPORTS.clear()
+
+
 def dump_recent(directory, prefix=""):
     """Write every report in :data:`RECENT_REPORTS` as JSON under
     *directory* (created if needed); returns the written paths.  Used by

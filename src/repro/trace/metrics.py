@@ -133,6 +133,18 @@ class MetricsRegistry:
     def __len__(self):
         return len(self._metrics)
 
+    def reset(self):
+        """Drop every metric (names, labels and values).
+
+        A registry handed to ``install_metrics`` outlives the machine it
+        observed; reusing one across runs (benchmark harnesses, fuzzer
+        iterations, tests sharing a fixture) would otherwise accumulate
+        counts from earlier runs.  Accessors recreate metrics on first
+        use, so instrumentation sites need no awareness of the reset.
+        """
+        self._metrics.clear()
+        return self
+
     # ------------------------------------------------------------------
     def sample(self, machine):
         """Snapshot machine-level state into gauges (call before

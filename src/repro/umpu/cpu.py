@@ -121,6 +121,56 @@ class UmpuMachine(Machine):
     def cur_domain(self):
         return self.regs.cur_domain
 
+    # --- snapshot/restore ---------------------------------------------
+    #: UmpuRegisters fields that are architectural state (everything the
+    #: trusted runtime can program; derived properties recompute)
+    _SNAP_REG_FIELDS = ("mem_map_base", "mem_prot_bot", "mem_prot_top",
+                        "mem_map_config", "stack_bound", "safe_stack_ptr",
+                        "cur_domain", "jt_base")
+
+    def _snapshot_extra(self):
+        extra = super()._snapshot_extra()
+        regs = self.regs
+        tracker = self.tracker
+        unit = self.safe_stack_unit
+        extra["umpu_regs"] = {name: getattr(regs, name)
+                              for name in self._SNAP_REG_FIELDS}
+        extra["tracker"] = {
+            "call_depths": list(tracker.call_depths),
+            "code_regions": dict(tracker.code_regions),
+            "cross_calls": tracker.cross_calls,
+            "cross_returns": tracker.cross_returns,
+        }
+        extra["safe_stack_unit"] = {
+            "redirected_pushes": unit.redirected_pushes,
+            "redirected_pops": unit.redirected_pops,
+            "high_water": unit.high_water,
+            "floor": unit.floor,
+        }
+        extra["mmc"] = {"checked_stores": self.mmc.checked_stores,
+                        "faults": self.mmc.faults}
+        return extra
+
+    def _restore_extra(self, extra):
+        super()._restore_extra(extra)
+        regs = self.regs
+        for name, value in extra["umpu_regs"].items():
+            setattr(regs, name, value)
+        tracker = self.tracker
+        state = extra["tracker"]
+        tracker.call_depths = list(state["call_depths"])
+        tracker.code_regions = dict(state["code_regions"])
+        tracker.cross_calls = state["cross_calls"]
+        tracker.cross_returns = state["cross_returns"]
+        unit = self.safe_stack_unit
+        state = extra["safe_stack_unit"]
+        unit.redirected_pushes = state["redirected_pushes"]
+        unit.redirected_pops = state["redirected_pops"]
+        unit.high_water = state["high_water"]
+        unit.floor = state["floor"]
+        self.mmc.checked_stores = extra["mmc"]["checked_stores"]
+        self.mmc.faults = extra["mmc"]["faults"]
+
     # ------------------------------------------------------------------
     def protection_disabled(self):
         """Context manager temporarily disabling all units (for loads)."""

@@ -227,6 +227,18 @@ class UmpuSystem:
         self._free_domains.append(module.domain)
         return module
 
+    # --- snapshot/restore ---------------------------------------------
+    def snapshot(self):
+        """Capture machine + loader state for :meth:`restore`.  The
+        UMPU register file, domain tracker and safe-stack unit ride in
+        the machine snapshot (``UmpuMachine._snapshot_extra``)."""
+        from repro.sim.snapshot import MachineSnapshot
+        return MachineSnapshot.capture_system(self)
+
+    def restore(self, snap):
+        snap.apply_system(self)
+        return self
+
     # ------------------------------------------------------------------
     def _software_fault(self):
         """Map the library's numeric fault code back to the typed

@@ -23,9 +23,10 @@ from repro.umpu import HarborLayout, UmpuMachine
 
 
 @pytest.fixture(autouse=True)
-def _clear_recent_fault_reports():
-    """Each test sees only the fault reports it produced."""
-    forensics.RECENT_REPORTS.clear()
+def _reset_process_global_state():
+    """Each test sees only the fault reports it produced (and never a
+    metric accumulated by an earlier test's shared registry)."""
+    forensics.reset()
     yield
 
 

@@ -211,10 +211,16 @@ def test_template_verifier_rejects_branch_over_check(template_verifier,
     words = encode("rjmp", ((store_addr - (tail + 2)) // 2,))
     result.program.set_word(tail // 2, words[0])
     result.program.set_word(tail // 2 + 1, encode("nop", ())[0])
-    with pytest.raises(VerifyError) as err:
+    with pytest.raises(VerifyError):
         template_verifier.verify(result.program, result.start,
                                  result.end + 4)
-    assert "inline check" in str(err.value)
+    # fail-fast trips on the push-depth mismatch first (the template's
+    # store sits inside its push region); collect mode must still show
+    # the protected-range rule itself
+    engine = template_verifier.verify_all(result.program, result.start,
+                                          result.end + 4)
+    assert any("inline check" in d.message for d in engine.findings)
+    assert "HL016" in engine.codes()
 
 
 # ---------------------------------------------------------------------

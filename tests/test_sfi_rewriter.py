@@ -277,12 +277,25 @@ _STORE_OPS = ["st X, r5", "st X+, r6", "st -X, r7", "st Y+, r8",
                           st.sampled_from(_STORE_OPS)),
                 min_size=1, max_size=30))
 def test_property_rewriter_output_always_verifies(body):
-    """For any module of safe + store instructions, the rewriter's
-    output passes the on-node verifier (the pipeline's soundness
-    contract)."""
+    """For any module of safe + store instructions, the rewriter either
+    rejects the source with a clear error (push/pop traffic it cannot
+    keep sound — rule HL016) or emits output that passes the on-node
+    verifier (the pipeline's soundness contract)."""
     src = "entry:\n" + "\n".join("    " + op for op in body) + "\n    ret\n"
     rewriter = Rewriter(RUNTIME.symbols, LAYOUT)
     verifier = Verifier(RUNTIME.symbols, LAYOUT)
+    depth, balanced = 0, True
+    for op in body:
+        depth += (op == "push r16") - (op == "pop r16")
+        if depth < 0:
+            balanced = False
+            break
+    balanced = balanced and depth == 0
+    if not balanced:
+        with pytest.raises(RewriteError):
+            rewriter.rewrite(assemble(src, "prop"), ORIGIN,
+                             exports=("entry",))
+        return
     result = rewriter.rewrite(assemble(src, "prop"), ORIGIN,
                               exports=("entry",))
     report = verifier.verify(result.program, result.start, result.end)

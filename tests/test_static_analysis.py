@@ -299,13 +299,18 @@ landing:
 """
 
 
-def test_branch_onto_ret_passes_linear_verify_but_lints_hl003():
+def test_branch_onto_ret_rejected_by_both_verifier_and_lint():
+    # the taken branch lands on the ret and skips the restore call.
+    # The linear verifier used to miss this (only the whole-image
+    # analyzer caught it); since the soundness campaign's save/restore
+    # desync burn-down it tracks jump/branch/skip targets too.
     system = SfiSystem()
     prog = Assembler(symbols=system.runtime.symbols).assemble(SNEAKY, "s")
     lo, hi = prog.extent()
-    # linearly, the ret is preceded by the restore call: ACCEPTED
-    system.verifier.verify(prog, lo * 2, (hi + 1) * 2)
-    # but the taken branch lands on the ret and skips it: HL003
+    with pytest.raises(VerifyError) as exc:
+        system.verifier.verify(prog, lo * 2, (hi + 1) * 2)
+    assert exc.value.rule == "HL003"
+    assert "bypasses hb_restore_ret" in str(exc.value)
     region, _ = place_raw(system, SNEAKY, name="sneak",
                           symbols=system.runtime.symbols)
     _model, report = lint_system(system, extra_modules=[region])
