@@ -42,6 +42,7 @@ MODULES = [
     ("bench_verifier_space", "Verifier design space"),
     ("bench_elision", "Proof-directed check elision"),
     ("bench_fuzz_corpus", "Hostile-corpus soundness campaign"),
+    ("bench_replay_overhead", "Timeline record-mode overhead"),
 ]
 
 #: modules skipped under ``--quick``: corpus generators / stress

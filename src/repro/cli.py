@@ -16,6 +16,12 @@ Installed as console scripts (see ``pyproject.toml``):
 * ``harbor-profile SOURCE`` — execute with the per-domain cycle
   profiler attached and print the attribution breakdown (optionally
   also exporting the Chrome trace); see ``docs/observability.md``.
+* ``harbor-replay SOURCE [--to-cycle C | --to-fault] [--window K]`` —
+  record a run as a cycle-indexed timeline (keyframe snapshots), then
+  seek it: deterministically replay to any cycle or to the fault and
+  show the machine state plus a replay-derived instruction window with
+  live register/SREG values; ``-o`` exports the timeline index and
+  ``--speedscope`` the per-block heat profile.
 * ``harbor-explain-fault SOURCE`` — execute with tracing + the fault
   forensics flight recorder attached; on a protection fault, print the
   structured panic dump (text or ``--json``).
@@ -304,11 +310,25 @@ def cmd_profile(argv=None):
                         help="also export the Chrome trace here")
     parser.add_argument("--capacity", type=int, default=65536,
                         help="trace ring-buffer capacity (events)")
+    parser.add_argument("--blocks", action="store_true",
+                        help="also rank per-basic-block execution heat "
+                             "(records a timeline and replays it)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="blocks to list with --blocks (default 20)")
+    parser.add_argument("--speedscope", default=None, metavar="OUT.json",
+                        help="export the block heat as a speedscope "
+                             "profile (implies --blocks)")
+    parser.add_argument("--interval", type=int, default=None,
+                        help="timeline keyframe interval in cycles "
+                             "(with --blocks)")
     args = parser.parse_args(argv)
     from repro.trace import flat_report, write_chrome_trace
     machine = _build_machine(args)
     sink = machine.attach_trace(capacity=args.capacity)
     profiler = machine.attach_profiler()
+    blocks = args.blocks or args.speedscope
+    timeline = machine.attach_timeline(interval=args.interval) \
+        if blocks else None
     cycles, fault = _execute(machine, args)
     print(flat_report(profiler, sink,
                       title="Cycle attribution: {}".format(args.source)))
@@ -316,6 +336,16 @@ def cmd_profile(argv=None):
         profiler.assert_balanced(machine.core)
         print("; attribution balanced: {} cycles == core.cycles delta"
               .format(profiler.total()), file=sys.stderr)
+    if blocks:
+        from repro.trace import BlockHeat, write_speedscope
+        heat = BlockHeat.from_machine(machine).feed(timeline)
+        print()
+        print(heat.render(top=args.top))
+        if args.speedscope:
+            write_speedscope(args.speedscope, heat,
+                             name="profile:{}".format(args.source))
+            print("; speedscope profile -> {}".format(args.speedscope),
+                  file=sys.stderr)
     if args.chrome:
         write_chrome_trace(args.chrome, sink)
         print("; chrome trace -> {}".format(args.chrome),
@@ -324,6 +354,94 @@ def cmd_profile(argv=None):
         print("protection fault: {}".format(fault), file=sys.stderr)
         return 2
     return 0
+
+
+def cmd_replay(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-replay",
+        description="record a run with keyframe snapshots, then seek "
+                    "the time-travel timeline: replay to a cycle or to "
+                    "the fault and show the machine state plus a "
+                    "replay-derived instruction window with live "
+                    "register/SREG values")
+    _add_run_arguments(parser)
+    parser.add_argument("--interval", type=int, default=None,
+                        help="keyframe interval in cycles (default {})"
+                        .format(10_000))
+    parser.add_argument("--to-cycle", type=int, default=None, metavar="C",
+                        help="seek to cycle C after the run")
+    parser.add_argument("--to-fault", action="store_true",
+                        help="seek to the recorded protection fault")
+    parser.add_argument("--window", type=int, default=8, metavar="K",
+                        help="instructions of replayed history to show")
+    parser.add_argument("-o", "--output", default=None,
+                        metavar="TIMELINE.json",
+                        help="write the timeline index (keyframes, "
+                             "segments, faults, stats) here")
+    parser.add_argument("--speedscope", default=None, metavar="OUT.json",
+                        help="replay the whole recording and export the "
+                             "block heat as a speedscope profile")
+    args = parser.parse_args(argv)
+    from repro.trace import BlockHeat, write_speedscope
+    machine = _build_machine(args)
+    timeline = machine.attach_timeline(interval=args.interval)
+    cycles, fault = _execute(machine, args)
+    timeline.finalize()
+    print("; recorded {} cycles, {} keyframes (interval {})".format(
+        cycles, len(timeline.keyframes), timeline.interval),
+        file=sys.stderr)
+    if fault is not None:
+        print("; protection fault at cycle {}: {}".format(
+            timeline.fault_cycle, fault), file=sys.stderr)
+
+    status = 0
+    target = None
+    if args.to_fault:
+        if not timeline.faults:
+            print("no protection fault recorded", file=sys.stderr)
+            status = 1
+        else:
+            target = timeline.fault_cycle
+    elif args.to_cycle is not None:
+        target = args.to_cycle
+
+    if target is not None:
+        core = machine.core
+        timeline.seek(target)
+        print("state at cycle {} (seek target {}):".format(
+            core.cycles, target))
+        print("  pc=0x{:05x}  instret={}  SREG=0x{:02x}  SP=0x{:04x}"
+              "  halted={}".format(core.pc * 2, core.instret,
+                                   machine.memory.sreg, machine.memory.sp,
+                                   core.halted))
+        for row in range(0, 32, 8):
+            cells = " ".join("{:02x}".format(machine.memory.data[r])
+                             for r in range(row, row + 8))
+            print("  r{:<2}-r{:<2} {}".format(row, row + 7, cells))
+        window = timeline.window(
+            cycle=None if args.to_fault else target, before=args.window,
+            symbols=None if machine.program is None
+            else {a: n for n, a in machine.program.symbols.items()})
+        print("  replayed window ({} instructions):".format(len(window)))
+        for entry in window:
+            mark = "  <-- FAULT" if entry["fault"] else ""
+            print("    0x{:05x}  {:<28} [SREG=0x{:02x} SP=0x{:04x}]{}"
+                  .format(entry["pc"], entry["text"], entry["sreg"],
+                          entry["sp"], mark))
+        timeline.seek(target)  # leave the machine at the seek target
+
+    if args.speedscope:
+        heat = BlockHeat.from_machine(machine).feed(timeline)
+        write_speedscope(args.speedscope, heat,
+                         name="replay:{}".format(args.source))
+        print("; speedscope profile -> {}".format(args.speedscope),
+              file=sys.stderr)
+    if args.output:
+        timeline.write(args.output)
+        print("; timeline -> {}".format(args.output), file=sys.stderr)
+    if target is None and fault is not None:
+        return 2
+    return status
 
 
 def cmd_explain_fault(argv=None):
@@ -722,11 +840,12 @@ def main(argv=None):
     tools = {"asm": cmd_asm, "disasm": cmd_disasm,
              "rewrite": cmd_rewrite, "verify": cmd_verify,
              "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile,
-             "explain-fault": cmd_explain_fault, "metrics": cmd_metrics,
-             "lint": cmd_lint, "opt": cmd_opt, "fuzz": cmd_fuzz}
+             "replay": cmd_replay, "explain-fault": cmd_explain_fault,
+             "metrics": cmd_metrics, "lint": cmd_lint, "opt": cmd_opt,
+             "fuzz": cmd_fuzz}
     if not argv or argv[0] not in tools:
         print("usage: python -m repro.cli "
-              "{asm|disasm|rewrite|verify|run|trace|profile|"
+              "{asm|disasm|rewrite|verify|run|trace|profile|replay|"
               "explain-fault|metrics|lint|opt|fuzz} ...",
               file=sys.stderr)
         return 64

@@ -350,6 +350,13 @@ class SfiSystem:
         self._free_domains.append(module.domain)
         return module
 
+    def attach_timeline(self, interval=None, keep_flash=True):
+        """Attach a :class:`~repro.trace.timeline.Timeline` recorder to
+        the node (keyframes span every subsequent ``call_export`` /
+        kernel-call run; see ``docs/observability.md``)."""
+        return self.machine.attach_timeline(interval=interval,
+                                            keep_flash=keep_flash)
+
     # --- snapshot/restore ---------------------------------------------
     def snapshot(self):
         """Capture machine + loader state for :meth:`restore`.
@@ -437,6 +444,8 @@ class SfiSystem:
         m = self.machine
         m.core.push_return_address(0xFFFE)
         m.core.pc = self.runtime.symbol(target) // 2
+        if m.timeline is not None:
+            m.timeline.begin_run()
         start = m.core.cycles
         try:
             m.core.run(max_cycles=max_cycles, until_pc=0xFFFE)

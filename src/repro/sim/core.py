@@ -87,6 +87,17 @@ class AvrCore:
         self.debug = None
         #: optional repro.trace.metrics.MetricsRegistry
         self.metrics = None
+        #: cycle watermark (absolute cycle count) at which
+        #: ``watermark_hook(core)`` fires, checked at instruction
+        #: boundaries inside :meth:`run` on *both* loops.  The timeline
+        #: recorder uses this to drop keyframe snapshots every N cycles;
+        #: unlike the observers above, a set watermark does NOT opt the
+        #: core out of the fast loop — the fast loop folds the check
+        #: into its existing budget comparison, so an armed watermark
+        #: costs nothing per step.  The hook must advance (or clear)
+        #: ``watermark`` past the current cycle before returning.
+        self.watermark = None
+        self.watermark_hook = None
         #: callable returning the active protection domain (set by
         #: UmpuMachine); None on cores without protection hardware
         self.domain_provider = None
@@ -305,6 +316,9 @@ class AvrCore:
             if spent >= max_cycles:
                 raise CycleLimitExceeded(max_cycles,
                                          overshoot=spent - max_cycles)
+            watermark = self.watermark
+            if watermark is not None and self.cycles >= watermark:
+                self.watermark_hook(self)
             self.step()
         return self.cycles - start
 
@@ -312,10 +326,18 @@ class AvrCore:
         """Uninstrumented run loop: threaded dispatch straight off the
         decode cache.  State transitions (PC, SREG, registers, memory,
         cycle accounting, fault behaviour) are identical to repeated
-        :meth:`step` calls minus the detached-instrumentation guards."""
+        :meth:`step` calls minus the detached-instrumentation guards.
+
+        The cycle watermark (timeline keyframes) is folded into the
+        loop's existing budget comparison: ``bound`` is the nearer of
+        the budget limit and the watermark, so an armed recorder adds
+        zero comparisons to the per-step path and the hook fires at the
+        exact same instruction boundaries as the instrumented loop."""
         cache = self._decode_cache
         decode = self._decode_and_cache
         limit = start + max_cycles
+        watermark = self.watermark
+        bound = limit if watermark is None else min(limit, watermark)
         instret = self.instret
         try:
             while not self.halted:
@@ -323,9 +345,19 @@ class AvrCore:
                 if pc == until_pc:
                     break
                 cycles = self.cycles
-                if cycles >= limit:
-                    raise CycleLimitExceeded(
-                        max_cycles, overshoot=cycles - limit)
+                if cycles >= bound:
+                    if cycles >= limit:
+                        raise CycleLimitExceeded(
+                            max_cycles, overshoot=cycles - limit)
+                    # watermark reached: publish the loop-local counter,
+                    # fire the hook (a snapshot capture — read-only) and
+                    # re-derive the bound from the advanced watermark
+                    self.instret = instret
+                    self.watermark_hook(self)
+                    watermark = self.watermark
+                    bound = limit if watermark is None \
+                        else min(limit, watermark)
+                    continue
                 entry = cache.get(pc)
                 if entry is None:
                     entry = decode(pc)

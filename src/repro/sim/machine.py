@@ -36,6 +36,9 @@ class Machine:
         self.program = None
         #: optional repro.trace.forensics.FlightRecorder
         self.forensics = None
+        #: optional repro.trace.timeline.Timeline (cycle-indexed
+        #: record/replay; attach with :meth:`attach_timeline`)
+        self.timeline = None
         if program is not None:
             self.load(program)
         self.reset()
@@ -111,6 +114,19 @@ class Machine:
             Debugger(self)
         return self.core.debug
 
+    def attach_timeline(self, interval=None, keep_flash=True):
+        """Attach a :class:`repro.trace.timeline.Timeline` recorder:
+        keyframe :class:`~repro.sim.snapshot.MachineSnapshot`\\ s are
+        captured every *interval* cycles during :meth:`run`/:meth:`call`
+        (fast path included — the check rides the run loop's existing
+        budget comparison), enabling ``seek``/``window``/replay,
+        reverse-step in the debugger and replay-backed forensics.
+        Re-attaching returns the existing timeline."""
+        from repro.trace.timeline import Timeline
+        if self.timeline is None:
+            Timeline(self, interval=interval, keep_flash=keep_flash)
+        return self.timeline
+
     def record_fault(self, fault):
         """Capture forensics for *fault* (idempotent) and count it.
 
@@ -127,6 +143,10 @@ class Machine:
             metrics.counter("protection_faults",
                             code=getattr(fault, "code", "protection"),
                             domain=getattr(fault, "domain", None)).inc()
+        if self.timeline is not None:
+            # pin the at-fault state as a keyframe (before forensics so
+            # the flight recorder can build a replay-backed window)
+            self.timeline.note_fault(fault)
         if self.forensics is not None:
             self.forensics.capture(fault)
         return fault
@@ -211,6 +231,8 @@ class Machine:
         byte_addr = self.resolve(target)
         self.core.push_return_address(CALL_SENTINEL_WORD)
         self.core.pc = byte_addr // 2
+        if self.timeline is not None:
+            self.timeline.begin_run()
         start = self.core.cycles
         try:
             self.core.run(max_cycles=max_cycles,
@@ -223,6 +245,8 @@ class Machine:
         """Run from *entry* (default: current PC) until halt (`break`)."""
         if entry is not None:
             self.core.pc = self.resolve(entry) // 2
+        if self.timeline is not None:
+            self.timeline.begin_run()
         try:
             return self.core.run(max_cycles=max_cycles)
         except ProtectionFault as fault:

@@ -24,9 +24,14 @@ Six pieces:
   hot-path cost when detached.  Attach with :func:`install_metrics`.
 * :class:`Debugger` — data watchpoints and PC breakpoints; attaching
   one moves the core off the fast loop (cycle counts unchanged).
+* :class:`Timeline` / :class:`BlockHeat` — cycle-indexed record/replay:
+  keyframe snapshots every N cycles (fast path included, via the core's
+  cycle watermark), ``seek``/``window``/full replay, reverse-step,
+  replay-backed forensic windows and per-basic-block heat profiles
+  (speedscope export).  Attach with ``Machine.attach_timeline()``.
 
-CLI: ``python -m repro.cli trace|profile|explain-fault|metrics ...``;
-see ``docs/observability.md``.
+CLI: ``python -m repro.cli trace|profile|replay|explain-fault|metrics
+...``; see ``docs/observability.md``.
 """
 
 from repro.trace.debug import (
@@ -41,7 +46,9 @@ from repro.trace.export import (
     domain_label,
     flat_report,
     to_chrome_trace,
+    to_speedscope,
     write_chrome_trace,
+    write_speedscope,
 )
 from repro.trace.forensics import (
     RECENT_REPORTS,
@@ -55,6 +62,12 @@ from repro.trace.metrics import (
     install_metrics,
     uninstall_metrics,
     write_metrics,
+)
+from repro.trace.timeline import (
+    DEFAULT_INTERVAL,
+    TIMELINE_SCHEMA,
+    BlockHeat,
+    Timeline,
 )
 from repro.trace.profiler import (
     CAT_APP,
@@ -80,7 +93,13 @@ __all__ = [
     "domain_label",
     "flat_report",
     "to_chrome_trace",
+    "to_speedscope",
     "write_chrome_trace",
+    "write_speedscope",
+    "Timeline",
+    "BlockHeat",
+    "DEFAULT_INTERVAL",
+    "TIMELINE_SCHEMA",
     "FaultReport",
     "FlightRecorder",
     "RECENT_REPORTS",

@@ -171,6 +171,31 @@ class Debugger:
             self._resume_pc = pc
             raise BreakpointHit(pc * 2, core.cycles)
 
+    # -- time travel ----------------------------------------------------
+    def reverse_step(self, n=1):
+        """Step *n* retired instructions backwards.
+
+        Requires a :class:`~repro.trace.timeline.Timeline` attached
+        (``machine.attach_timeline()``) *before* the run being rewound:
+        the timeline restores the nearest keyframe and deterministically
+        re-executes forward to ``instret - n``.  Clamps at the start of
+        the recording.  Returns the new PC (byte address).  Forward
+        execution from the rewound state retraces the recording exactly
+        (replay determinism), so breakpoints/watchpoints re-fire on the
+        re-executed path.
+        """
+        timeline = getattr(self.machine, "timeline", None)
+        if timeline is None or not timeline.can_replay():
+            raise RuntimeError(
+                "reverse_step needs an attached timeline recording "
+                "(Machine.attach_timeline before the run)")
+        core = self.machine.core
+        first = timeline.keyframes[0].instret
+        target = max(first, core.instret - n)
+        timeline.seek_instret(target)
+        self._resume_pc = None  # a rewind re-arms breakpoints
+        return core.pc * 2
+
     # -- watchpoints ----------------------------------------------------
     def watch(self, lo, hi=None, on_read=False, on_write=True,
               break_on_hit=False):

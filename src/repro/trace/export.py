@@ -101,12 +101,78 @@ def to_chrome_trace(sink, pid=0, process_name="avr-node"):
     for tid, domain in sorted(tids):
         meta.append({"name": "thread_name", "ph": "M", "pid": pid,
                      "tid": tid, "args": {"name": domain_label(domain)}})
+        # pin the track order (cpu, trusted, domain 0, 1, ...) so the
+        # trace opens pre-sorted in Perfetto / about://tracing
+        meta.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"sort_index": tid}})
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path, sink, pid=0, process_name="avr-node"):
     """Write the Chrome trace JSON for *sink* to *path*."""
     doc = to_chrome_trace(sink, pid=pid, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1)
+    return path
+
+
+# ---------------------------------------------------------------------
+#: speedscope file-format schema URL (https://www.speedscope.app)
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def to_speedscope(heat, name="harbor-replay"):
+    """Render a :class:`~repro.trace.timeline.BlockHeat` recording as a
+    speedscope "sampled" profile (a plain dict, ready for ``json.dump``;
+    open at https://www.speedscope.app or with any flamegraph viewer
+    that reads the format).
+
+    Each replayed basic-block run becomes one sample whose weight is
+    the cycles spent in it; frames are ``label [domain]`` per (block,
+    domain) bucket, so the time-order view shows the execution ribbon
+    hopping across protection domains and the left-heavy view is the
+    block heat ranking.
+    """
+    frames = []
+    frame_index = {}
+    samples = []
+    weights = []
+    for block_index, domain, cycles in heat.sequence:
+        key = (block_index, domain)
+        idx = frame_index.get(key)
+        if idx is None:
+            idx = frame_index[key] = len(frames)
+            label = heat.label_of(block_index)
+            if domain is not None:
+                label = "{} [{}]".format(label, domain_label(domain))
+            frame = {"name": label}
+            if block_index is not None:
+                start, end = heat.blocks[block_index][:2]
+                frame["file"] = "flash:0x{:04x}-0x{:04x}".format(start, end)
+            frames.append(frame)
+        samples.append([idx])
+        weights.append(cycles)
+    profile = {
+        "type": "sampled",
+        "name": name,
+        "unit": "none",          # weights are simulated cycles
+        "startValue": 0,
+        "endValue": sum(weights),
+        "samples": samples,
+        "weights": weights,
+    }
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "exporter": "repro.trace",
+        "shared": {"frames": frames},
+        "profiles": [profile],
+    }
+
+
+def write_speedscope(path, heat, name="harbor-replay"):
+    """Write the speedscope JSON for *heat* to *path*."""
+    doc = to_speedscope(heat, name=name)
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=1)
     return path

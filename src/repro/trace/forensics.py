@@ -13,9 +13,11 @@ captures a :class:`FaultReport`:
   the 5-byte safe-stack frames ``[domain][sb_lo][sb_hi][ret_lo]
   [ret_hi]`` (identical layout in the hardware safe-stack unit and the
   software runtime);
-* a disassembled window of the last N retired instructions, fed from
-  the attached :class:`~repro.trace.events.TraceSink` ring when one is
-  present, else a static window of flash around the faulting PC.
+* a disassembled window of the last N retired instructions — replayed
+  deterministically (with live register/SREG/SP values per instruction)
+  when a :class:`~repro.trace.timeline.Timeline` recording is attached,
+  else fed from the attached :class:`~repro.trace.events.TraceSink`
+  ring, else a static window of flash around the faulting PC.
 
 The report is attached to the exception as ``fault.report``, rendered
 as a text "panic dump" (:meth:`FaultReport.text`) or JSON
@@ -90,8 +92,8 @@ class FaultReport:
         self.sreg = sreg
         self.registers = registers      # tuple of 32 bytes
         self.call_stack = call_stack    # [StackFrame], innermost first
-        self.instr_window = instr_window  # [{"pc","cycles","text"}]
-        self.window_source = window_source  # "trace" | "static"
+        self.instr_window = instr_window  # [{"pc","cycles","text",...}]
+        self.window_source = window_source  # "replay" | "trace" | "static"
 
     # ------------------------------------------------------------------
     def to_dict(self):
@@ -147,8 +149,12 @@ class FaultReport:
         for entry in self.instr_window:
             cyc = ("" if entry.get("cycles") is None
                    else "  ({} cycles)".format(entry["cycles"]))
-            out.append("    0x{:05x}  {}{}".format(entry["pc"],
-                                                   entry["text"], cyc))
+            live = ("" if entry.get("sreg") is None
+                    else "  [SREG=0x{:02x} SP=0x{:04x}]".format(
+                        entry["sreg"], entry["sp"]))
+            mark = "  <-- FAULT" if entry.get("fault") else ""
+            out.append("    0x{:05x}  {}{}{}{}".format(
+                entry["pc"], entry["text"], cyc, live, mark))
         return "\n".join(out)
 
 
@@ -336,10 +342,23 @@ class FlightRecorder:
         return out
 
     def _instr_window(self):
-        """Last-N disassembled instructions: from the TraceSink ring if
-        one is attached, else a static flash window ending at the PC."""
+        """Last-N disassembled instructions, best source first: a
+        deterministic timeline replay (live register/SREG/SP values per
+        instruction) when a :class:`~repro.trace.timeline.Timeline` is
+        attached, else the TraceSink ring if one is attached, else a
+        static flash window ending at the PC."""
         mem = self.machine.memory
         symbols = self._symbols_by_addr()
+        timeline = getattr(self.machine, "timeline", None)
+        if timeline is not None and timeline.can_replay():
+            try:
+                with timeline.preserving():
+                    window = timeline.window(before=self.window,
+                                             symbols=symbols)
+            except Exception:
+                window = None
+            if window:
+                return window, "replay"
         trace = self.machine.core.trace
         if trace is not None:
             retires = trace.of(TraceEventKind.INSTR_RETIRE)[-self.window:]

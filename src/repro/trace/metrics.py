@@ -153,6 +153,20 @@ class MetricsRegistry:
         core = machine.core
         self.gauge("cycles").set(core.cycles)
         self.gauge("instructions").set(core.instret)
+        # instret as a monotone counter too (delta since last sample),
+        # so aggregation across samples/exports composes like the other
+        # counters; the gauge above keeps the point-in-time view
+        instret = self.counter("instret")
+        if core.instret > instret.value:
+            instret.inc(core.instret - instret.value)
+        timeline = getattr(machine, "timeline", None)
+        if timeline is not None:
+            keyframes = self.counter("snapshot_keyframes")
+            if len(timeline.keyframes) > keyframes.value:
+                keyframes.inc(len(timeline.keyframes) - keyframes.value)
+            reexec = self.counter("replay_reexec_cycles")
+            if timeline.reexec_cycles > reexec.value:
+                reexec.inc(timeline.reexec_cycles - reexec.value)
         tracker = getattr(machine, "tracker", None)
         if tracker is not None:
             self.gauge("cross_domain_nesting").set(tracker.nesting)

@@ -227,6 +227,13 @@ class UmpuSystem:
         self._free_domains.append(module.domain)
         return module
 
+    def attach_timeline(self, interval=None, keep_flash=True):
+        """Attach a :class:`~repro.trace.timeline.Timeline` recorder to
+        the node (keyframes span every subsequent ``call_export`` /
+        kernel-call run; see ``docs/observability.md``)."""
+        return self.machine.attach_timeline(interval=interval,
+                                            keep_flash=keep_flash)
+
     # --- snapshot/restore ---------------------------------------------
     def snapshot(self):
         """Capture machine + loader state for :meth:`restore`.  The
@@ -304,6 +311,8 @@ class UmpuSystem:
         machine.core.set_reg_pair(30, entry // 2)
         machine.core.push_return_address(0xFFFE)
         machine.core.pc = self.runtime.symbol("hb_dispatch") // 2
+        if machine.timeline is not None:
+            machine.timeline.begin_run()
         start = machine.core.cycles
         try:
             machine.core.run(max_cycles=max_cycles, until_pc=0xFFFE)

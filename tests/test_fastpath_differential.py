@@ -275,6 +275,76 @@ def test_fault_propagation_identical_on_both_paths():
     assert bytes(fast.core.memory.data) == bytes(slow.core.memory.data)
 
 
+def test_observers_attached_and_detached_between_runs():
+    """A TraceSink/profiler attached for a middle stretch of execution
+    and detached again: the fast -> instrumented -> fast transitions
+    must leave state cycle-identical to an uninterrupted fast run."""
+    from repro.sim import CycleLimitExceeded
+    from repro.trace import install_profiler, install_tracing, uninstall
+
+    src = generate_program(17)
+    ref = Machine(assemble(src))
+    ref.run()
+    total = ref.core.cycles
+
+    staged = Machine(assemble(src))
+    with pytest.raises(CycleLimitExceeded):
+        staged.run(max_cycles=total // 3)          # fast chunk
+    sink = install_tracing(staged)
+    profiler = install_profiler(staged)
+    with pytest.raises(CycleLimitExceeded):
+        staged.run(max_cycles=total // 3)          # instrumented chunk
+    assert len(sink) > 0
+    assert profiler.total() > 0
+    uninstall(staged)
+    assert not staged.core.halted
+    staged.run()                                   # fast to completion
+    assert_states_identical(ref, staged)
+
+
+def test_timeline_recording_spans_path_transitions():
+    """A recording timeline must survive fast <-> instrumented
+    transitions: watermark keyframes fire on both paths and seeks into
+    any chunk reproduce the budget-stopped live state."""
+    from repro.sim import CycleLimitExceeded, MachineSnapshot
+    from repro.trace import install_tracing, uninstall
+
+    src = generate_program(23)
+    ref = Machine(assemble(src))
+    ref.run()
+    total = ref.core.cycles
+
+    staged = Machine(assemble(src))
+    timeline = staged.attach_timeline(interval=97)
+    with pytest.raises(CycleLimitExceeded):
+        staged.run(max_cycles=total // 3)          # fast chunk
+    install_tracing(staged)
+    with pytest.raises(CycleLimitExceeded):
+        staged.run(max_cycles=total // 3)          # instrumented chunk
+    uninstall(staged)
+    staged.run()                                   # fast to completion
+    assert_states_identical(ref, staged)
+
+    # keyframes were dropped on both paths, at the same 97-cycle grid
+    # (watermark overshoot on multi-cycle instructions stretches the
+    # spacing slightly, hence the slack)
+    timeline.finalize()
+    assert len(timeline.keyframes) >= total // 110
+
+    # seeking to a cycle inside each chunk matches a budget-stopped run
+    for target in (total // 6, total // 2, 5 * total // 6):
+        timeline.seek(target)
+        fresh = Machine(assemble(src))
+        try:
+            fresh.run(max_cycles=target)
+        except CycleLimitExceeded:
+            pass
+        want = MachineSnapshot.capture(fresh)
+        got = MachineSnapshot.capture(staged)
+        assert (got.data, got.pc, got.cycles, got.instret, got.halted) \
+            == (want.data, want.pc, want.cycles, want.instret, want.halted)
+
+
 def test_until_pc_and_cycle_budget_match():
     """Stop conditions agree between the paths (until_pc, budgets)."""
     src = generate_program(7)

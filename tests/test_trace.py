@@ -316,6 +316,44 @@ def test_chrome_trace_structure():
     assert "trusted" in names and "domain 0" in names
 
 
+def test_chrome_trace_golden():
+    """Pin the exact exporter output — per-track metadata events
+    included — so Perfetto/about://tracing tooling can rely on the
+    shape (tracks pre-named and pre-sorted per protection domain)."""
+    sink = TraceSink(capacity=8)
+    sink.emit(3, TraceEventKind.INSTR_RETIRE, pc=0x10, key="ldi",
+              cycles=1)
+    sink.emit(5, TraceEventKind.DOMAIN_SWITCH, pc=0x12, domain=0,
+              target=0x0200)
+    sink.emit(7, TraceEventKind.INSTR_RETIRE, pc=0x200, domain=0,
+              key="st_x", cycles=2)
+    doc = to_chrome_trace(sink, pid=1, process_name="node-a")
+    assert doc == {
+        "traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "node-a"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "cpu"}},
+            {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"sort_index": 0}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "domain 0"}},
+            {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"sort_index": 1}},
+            {"name": "ldi", "cat": "instr", "ph": "X", "ts": 2,
+             "dur": 1, "pid": 1, "tid": 0,
+             "args": {"key": "ldi", "cycles": 1, "pc": "0x0010"}},
+            {"name": "domain_switch", "cat": "protection", "ph": "i",
+             "s": "t", "ts": 5, "pid": 1, "tid": 1,
+             "args": {"target": "0x0200", "pc": "0x0012"}},
+            {"name": "st_x", "cat": "instr", "ph": "X", "ts": 5,
+             "dur": 2, "pid": 1, "tid": 1,
+             "args": {"key": "st_x", "cycles": 2, "pc": "0x0200"}},
+        ],
+        "displayTimeUnit": "ms",
+    }
+
+
 def test_flat_report_renders():
     machine, profiler, sink = _umpu_workload()
     text = flat_report(profiler, sink)
