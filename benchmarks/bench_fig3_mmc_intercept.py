@@ -23,7 +23,7 @@ def build_figure():
     layout = HarborLayout()
     machine = UmpuMachine(assemble(SRC), layout=layout)
     machine.memmap.set_segment(0x0400, 8, 0)
-    tracer = machine.attach_tracer()
+    machine.attach_tracer()
     lines = []
 
     machine.enter_domain(0)

@@ -43,6 +43,7 @@ MODULES = [
     ("bench_elision", "Proof-directed check elision"),
     ("bench_fuzz_corpus", "Hostile-corpus soundness campaign"),
     ("bench_replay_overhead", "Timeline record-mode overhead"),
+    ("bench_transval", "Translation validation / JIT readiness"),
 ]
 
 #: modules skipped under ``--quick``: corpus generators / stress

@@ -35,8 +35,34 @@ from repro.analysis.static.elision import (
     verify_manifest,
 )
 from repro.analysis.static.image import ImageModel, ModuleRegion
+from repro.analysis.static.symexec import (
+    CLASS_PURE,
+    CLASS_TRANSLATABLE,
+    CLASS_UNTRANSLATABLE,
+    BlockSummary,
+    CallModel,
+    ConcreteEnv,
+    UnsupportedInstruction,
+    block_effect,
+    classify_lines,
+    effects_equal,
+    image_after,
+    run_summary,
+    summarize,
+)
+from repro.analysis.static.transval import (
+    TranslationReport,
+    stub_call_models,
+    validate_translation,
+)
 
 __all__ = [
+    "BlockSummary",
+    "CLASS_PURE",
+    "CLASS_TRANSLATABLE",
+    "CLASS_UNTRANSLATABLE",
+    "CallModel",
+    "ConcreteEnv",
     "Diagnostic",
     "DiagnosticsEngine",
     "ElisionManifest",
@@ -53,11 +79,19 @@ __all__ = [
     "StackBoundReport",
     "StoreProof",
     "StoreProver",
+    "TranslationReport",
+    "UnsupportedInstruction",
     "analyze_image",
+    "block_effect",
     "build_manifest",
+    "classify_lines",
+    "effects_equal",
+    "image_after",
     "image_checksum",
     "lint_system",
     "rule",
-    "runtime_call_models",
-    "verify_manifest",
+    "run_summary",
+    "stub_call_models",
+    "summarize",
+    "validate_translation",
 ]

@@ -322,7 +322,6 @@ class ImageAnalyzer:
     def _check_sfi_region(self, region):
         model = self.model
         cfg = model.cfg_for(region)
-        layout = model.layout
         for addr in cfg.undecodable:
             self.diags.emit(
                 "HL011", "flash word does not decode", byte_addr=addr,

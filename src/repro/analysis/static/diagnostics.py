@@ -162,6 +162,32 @@ RULES = tuple(Rule(*fields) for fields in (
      "push depth lets the module drift SP, pointing the slot rewrite "
      "— and the following ret — at a module-controlled or "
      "caller-owned stack slot."),
+    ("HL017", "translation-mismatch", "error",
+     "installed image is not a sanctioned translation of the source",
+     "The translation validator walks the source module and the "
+     "installed image in lockstep and admits only the sanctioned "
+     "rewrite transformations: checked stores become marshalling + "
+     "check-stub calls whose symbolic effect provably equals the raw "
+     "store, elided stores must appear verbatim at a site covered by "
+     "a re-verified elision manifest, function entries carry "
+     "hb_save_ret prologues (with rjmp entry guards on fall-through "
+     "paths), every ret is preceded by hb_restore_ret, and every "
+     "control edge must land on the translation of its source "
+     "target.  Any other difference — a miscompiled sequence, a "
+     "forged manifest site, a branch resolving to the wrong block — "
+     "is a translation mismatch, and certification (and the load, "
+     "under certify=True) fails."),
+    ("HL018", "untranslatable-block", "note",
+     "basic block is outside the symbolic model (not JIT-translatable)",
+     "JIT-readiness classification summarizes every basic block of "
+     "the installed image with the symbolic evaluator.  Blocks "
+     "containing indirect control transfers (ijmp/icall), RAMPZ "
+     "program-memory access (elpm), SP writes, undecodable words or "
+     "constant data addresses aliasing the register file cannot be "
+     "summarized and would fall back to the interpreter under a "
+     "block JIT.  This is informational: the block is still safe and "
+     "still verified — it just does not count toward the "
+     "translatable-cycle fraction of the JIT-readiness report."),
 ))
 
 RULE_BY_CODE = {rule.code: rule for rule in RULES}

@@ -1,0 +1,974 @@
+"""Symbolic block semantics for decoded AVR instruction sequences.
+
+``summarize`` evaluates a straight-line block of decoded instructions
+symbolically and returns a :class:`BlockSummary`: for every register and
+SREG flag an expression over the *initial* block state, an ordered log
+of memory writes, the set of memory reads, a cycle count (base cycles
+plus per-edge conditional extras) and the block terminator.  The
+expression language is deliberately tiny — leaves are the initial
+registers/flags/SP plus memory and flash reads, interior nodes are the
+exact ALU/flag formulas of :mod:`repro.sim.core` — and every node folds
+to a Python ``int`` when its operands are constants, so summaries stay
+small and structurally canonical.
+
+Two consumers build on the summaries:
+
+* the hypothesis differential (tests/test_symexec.py) evaluates a
+  summary against a captured pre-state and asserts the resulting
+  register file / SREG / memory image / cycle count matches concrete
+  ``step()`` execution on both protection systems;
+* the translation validator (:mod:`repro.analysis.static.transval`)
+  compares the *module-visible effect* of a source block against its
+  rewritten counterpart, with the Harbor store stubs applied as atomic
+  call models (:class:`CallModel`).
+
+Model boundary (documented, checked where cheap): data-space accesses
+with a *constant* target in the register file (below 0x20) or at the
+SP/SREG bytes — which the concrete core aliases into ``memory.data``
+but the model tracks separately — are rejected as unsupported;
+symbolic store/load targets are assumed to stay in SRAM proper,
+exactly the addresses the Harbor store rule sanctions.  ``in``/``out``
+on SREG and ``in`` on SPL/SPH are modelled precisely; writing SP
+directly, ``elpm`` (RAMPZ) and indirect control (``ijmp``/``icall``)
+are out of model and classify a block as untranslatable.
+"""
+
+from repro.analysis.static.cfg import static_target
+
+__all__ = [
+    "BlockSummary",
+    "CallModel",
+    "ConcreteEnv",
+    "Evaluator",
+    "Expr",
+    "ModuleEffect",
+    "Outcome",
+    "UnsupportedInstruction",
+    "block_effect",
+    "classify_lines",
+    "CLASS_PURE",
+    "CLASS_TRANSLATABLE",
+    "CLASS_UNTRANSLATABLE",
+    "effects_equal",
+    "image_after",
+    "run_summary",
+    "summarize",
+]
+
+_SREG_ADDR = 0x5F
+_SPL_ADDR = 0x5D
+_SPH_ADDR = 0x5E
+_PTR_REG = {"X": 26, "Y": 28, "Z": 30}
+
+# SREG bit indices (repro.isa.registers.SREG_BITS)
+_C, _Z, _N, _V, _S, _H, _T, _I = 0, 1, 2, 3, 4, 5, 6, 7
+
+
+class UnsupportedInstruction(Exception):
+    """The symbolic evaluator cannot model this instruction."""
+
+    def __init__(self, byte_addr, key, reason):
+        super().__init__("{} at 0x{:04X}: {}".format(key, byte_addr, reason))
+        self.byte_addr = byte_addr
+        self.key = key
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------
+# expression language
+# ---------------------------------------------------------------------
+# Every op is a *total* function returning an already-masked value, so
+# constant folding and concrete evaluation share one table.  Flag ops
+# return 0/1; byte ops return 0..255; 16-bit ops return 0..65535.
+_OPS = {
+    "add8": lambda a, b: (a + b) & 0xFF,
+    "adc8": lambda a, b, c: (a + b + c) & 0xFF,
+    "sub8": lambda a, b: (a - b) & 0xFF,
+    "sbc8": lambda a, b, c: (a - b - c) & 0xFF,
+    "add16": lambda a, b: (a + b) & 0xFFFF,
+    "sub16": lambda a, b: (a - b) & 0xFFFF,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "com": lambda a: (~a) & 0xFF,
+    "neg": lambda a: (-a) & 0xFF,
+    "shr": lambda a: a >> 1,
+    "asr": lambda a: (a >> 1) | (a & 0x80),
+    "rorc": lambda a, c: ((c & 1) << 7) | (a >> 1),
+    "swap": lambda a: ((a << 4) | (a >> 4)) & 0xFF,
+    "mul": lambda a, b: a * b,
+    "lo": lambda a: a & 0xFF,
+    "hi": lambda a: (a >> 8) & 0xFF,
+    "pair": lambda lo, hi: lo | (hi << 8),
+    "bit": lambda a, b: (a >> b) & 1,
+    "setbit": lambda a, b, v: ((a | (1 << b)) if v
+                               else (a & ~(1 << b) & 0xFF)),
+    "pack8": lambda *bits: sum(b << i for i, b in enumerate(bits)),
+    "not1": lambda a: 1 - a,
+    "eq": lambda a, b: int(a == b),
+    "eq0": lambda a: int(a == 0),
+    "ne0": lambda a: int(a != 0),
+    # flag formulas, verbatim from repro.sim.core
+    "h_add": lambda a, b, c: int(((a & 0xF) + (b & 0xF) + c) > 0xF),
+    "c_add": lambda a, b, c: int((a + b + c) > 0xFF),
+    "v_add": lambda a, b, c: int(bool(
+        (~(a ^ b) & (a ^ ((a + b + c) & 0xFF))) & 0x80)),
+    "h_sub": lambda a, b, c: int(((a & 0xF) - (b & 0xF) - c) < 0),
+    "c_sub": lambda a, b, c: int((a - b - c) < 0),
+    "v_sub": lambda a, b, c: int(bool(
+        ((a ^ b) & (a ^ ((a - b - c) & 0xFF))) & 0x80)),
+    "h_neg": lambda a: int(bool((((-a) & 0xFF) | a) & 0x8)),
+    "v_adiw": lambda a, b: int(bool((~a & ((a + b) & 0xFFFF)) & 0x8000)),
+    "c_adiw": lambda a, b: int(bool((~((a + b) & 0xFFFF) & a) & 0x8000)),
+    "v_sbiw": lambda a, b: int(bool((a & ~((a - b) & 0xFFFF)) & 0x8000)),
+    "c_sbiw": lambda a, b: int(bool((((a - b) & 0xFFFF) & ~a) & 0x8000)),
+}
+
+
+class Expr(object):
+    """An interior or leaf node; structurally hashable/comparable.
+
+    Leaves: ``reg0(n)``, ``flag0(bit)``, ``sp0()`` — the initial block
+    state — plus ``mem(addr, index)`` (data-space read after the first
+    *index* entries of the write log) and ``flash(addr)``.  Interior
+    nodes name an entry of ``_OPS``.  Operands are ``Expr`` or ``int``.
+    """
+
+    __slots__ = ("name", "args", "_key", "_hash")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+        self._key = (name,) + tuple(
+            a._key if isinstance(a, Expr) else a for a in args)
+        self._hash = hash(self._key)
+
+    def __eq__(self, other):
+        if isinstance(other, Expr):
+            return self._key == other._key
+        return NotImplemented
+
+    def __ne__(self, other):
+        if isinstance(other, Expr):
+            return self._key != other._key
+        return NotImplemented
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        if self.name in ("reg0", "flag0"):
+            return "{}{}".format("r" if self.name == "reg0" else "f",
+                                 self.args[0])
+        if self.name == "sp0":
+            return "sp0"
+        return "{}({})".format(
+            self.name, ", ".join(repr(a) for a in self.args))
+
+
+_REG0 = tuple(Expr("reg0", (n,)) for n in range(32))
+_FLAG0 = tuple(Expr("flag0", (b,)) for b in range(8))
+_SP0 = Expr("sp0", ())
+
+
+def _op(name, *args):
+    """Smart constructor: folds constants and trivial identities."""
+    if all(isinstance(a, int) for a in args):
+        return _OPS[name](*args)
+    if name in ("add16", "sub16") and args[1] == 0:
+        return args[0]
+    return Expr(name, args)
+
+
+def _sp_slot(addr):
+    """Stack-slot offset (relative to initial SP) if *addr* is
+    structurally a stack address, else None."""
+    if isinstance(addr, Expr):
+        if addr.name == "sp0":
+            return 0
+        if (addr.name == "add16" and isinstance(addr.args[1], int)
+                and isinstance(addr.args[0], Expr)
+                and addr.args[0].name == "sp0"):
+            return addr.args[1]
+    return None
+
+
+class _Write(object):
+    __slots__ = ("addr", "value", "kind")
+
+    def __init__(self, addr, value, kind):
+        self.addr = addr
+        self.value = value
+        self.kind = kind      # "data" | "stack" | "io"
+
+    def __repr__(self):
+        return "[{!r}] <- {!r} ({})".format(self.addr, self.value,
+                                            self.kind)
+
+
+class CallModel(object):
+    """Atomic effect model for a ``call`` target inside a block.
+
+    The Harbor store stubs preserve all registers and SREG except the
+    pointer-pair bump and perform exactly one data-space store at their
+    effective address; their own frame is balanced, so they are
+    SP-neutral from the caller's perspective (the ``call``'s return
+    push is consumed by the stub's ``ret`` and is not logged).
+    """
+
+    __slots__ = ("name", "store", "ptr_lo", "ea_bias", "ea_uses_q",
+                 "delta", "cycles")
+
+    def __init__(self, name, store=False, ptr_lo=None, ea_bias=0,
+                 ea_uses_q=False, delta=0, cycles=0):
+        self.name = name
+        self.store = store
+        self.ptr_lo = ptr_lo
+        self.ea_bias = ea_bias
+        self.ea_uses_q = ea_uses_q
+        self.delta = delta
+        self.cycles = cycles
+
+
+class BlockSummary(object):
+    """Symbolic effect of one straight-line instruction sequence."""
+
+    def __init__(self, lines):
+        self.lines = list(lines)
+        self.regs = list(_REG0)
+        self.flags = list(_FLAG0)
+        self.sp_off = 0
+        self.writes = []          # ordered [_Write]
+        self.reads = []           # [(kind, addr expr)]
+        self.base_cycles = 0
+        self.extras = []          # [(cond 0/1 expr, extra cycles)]
+        self.stub_calls = []      # [CallModel names, in order]
+        self.terminator = None    # final Line when it transfers control
+
+    @property
+    def start(self):
+        return self.lines[0].byte_addr if self.lines else None
+
+    def successors(self):
+        """Static control successors: list of (kind, byte_addr|None)."""
+        line = self.terminator
+        if line is None:
+            if not self.lines:
+                return []
+            last = self.lines[-1]
+            return [("fall", last.byte_addr + 2 * len(last.words))]
+        key = line.instr.key
+        fall = line.byte_addr + 2 * len(line.words)
+        if key in ("rjmp", "jmp"):
+            return [("jump", static_target(line))]
+        if key in ("brbs", "brbc"):
+            return [("branch", static_target(line)), ("fall", fall)]
+        if key in ("cpse", "sbrc", "sbrs", "sbic", "sbis"):
+            return [("skip", None), ("fall", fall)]
+        if key in ("ret", "reti"):
+            return [("ret", None)]
+        return [("halt", None)]
+
+
+# ---------------------------------------------------------------------
+# evaluation against a concrete pre-state
+# ---------------------------------------------------------------------
+class ConcreteEnv(object):
+    """A concrete block pre-state: registers, SREG, SP, a snapshot of
+    data memory and a flash-byte reader."""
+
+    def __init__(self, regs, sreg, sp, data, flash_byte=None):
+        self.regs = regs
+        self.sreg = sreg
+        self.sp = sp
+        self.data = data
+        self.flash_byte = flash_byte or (lambda addr: 0)
+
+    @classmethod
+    def from_core(cls, core):
+        data = bytes(core.memory.data)
+        sp = data[_SPL_ADDR] | (data[_SPH_ADDR] << 8)
+        return cls(regs=list(data[:32]), sreg=data[_SREG_ADDR], sp=sp,
+                   data=data, flash_byte=core.memory.read_flash_byte)
+
+    def mem(self, addr):
+        return self.data[addr & 0xFFFF]
+
+
+class Evaluator(object):
+    """Evaluates expressions of one summary against a ConcreteEnv."""
+
+    def __init__(self, env, writes):
+        self.env = env
+        self.writes = writes
+        self._memo = {}
+
+    def eval(self, x):
+        if isinstance(x, int):
+            return x
+        memo = self._memo
+        key = id(x)
+        if key in memo:
+            return memo[key]
+        name = x.name
+        env = self.env
+        if name == "reg0":
+            value = env.regs[x.args[0]]
+        elif name == "flag0":
+            value = (env.sreg >> x.args[0]) & 1
+        elif name == "sp0":
+            value = env.sp
+        elif name == "flash":
+            value = env.flash_byte(self.eval(x.args[0]))
+        elif name == "mem":
+            value = self._mem(x)
+        else:
+            value = _OPS[name](*[self.eval(a) for a in x.args])
+        memo[key] = value
+        return value
+
+    def _mem(self, x):
+        addr = self.eval(x.args[0]) & 0xFFFF
+        index = x.args[1]
+        for write in reversed(self.writes[:index]):
+            if self.eval(write.addr) & 0xFFFF == addr:
+                return self.eval(write.value) & 0xFF
+        return self.env.mem(addr)
+
+
+class Outcome(object):
+    """Concrete post-state predicted by a summary for one pre-state."""
+
+    def __init__(self, regs, sreg, sp, writes, cycles):
+        self.regs = regs
+        self.sreg = sreg
+        self.sp = sp
+        self.writes = writes       # [(addr, value, kind)] in order
+        self.cycles = cycles
+
+
+def run_summary(summary, env):
+    """Evaluate *summary* against pre-state *env* -> :class:`Outcome`."""
+    ev = Evaluator(env, summary.writes)
+    regs = [ev.eval(x) & 0xFF for x in summary.regs]
+    sreg = 0
+    for b in range(8):
+        if ev.eval(summary.flags[b]):
+            sreg |= 1 << b
+    sp = (env.sp + summary.sp_off) & 0xFFFF
+    writes = [(ev.eval(w.addr) & 0xFFFF, ev.eval(w.value) & 0xFF, w.kind)
+              for w in summary.writes]
+    cycles = summary.base_cycles
+    for cond, extra in summary.extras:
+        if ev.eval(cond):
+            cycles += extra
+    return Outcome(regs, sreg, sp, writes, cycles)
+
+
+def image_after(summary, env):
+    """Predicted full data-memory image after the block: the captured
+    pre-state image with the write log, final registers, SREG and SP
+    applied.  Comparing this against ``bytes(core.memory.data)`` after
+    concrete execution checks every architectural effect at once."""
+    outcome = run_summary(summary, env)
+    data = bytearray(env.data)
+    for addr, value, _kind in outcome.writes:
+        data[addr] = value
+    data[0:32] = bytes(outcome.regs)
+    data[_SREG_ADDR] = outcome.sreg
+    data[_SPL_ADDR] = outcome.sp & 0xFF
+    data[_SPH_ADDR] = outcome.sp >> 8
+    return data
+
+
+# ---------------------------------------------------------------------
+# the symbolic transfer functions
+# ---------------------------------------------------------------------
+class _Sym(object):
+    def __init__(self, summary, call_models):
+        self.s = summary
+        self.call_models = call_models or {}
+
+    # -- tiny state helpers -------------------------------------------
+    def reg(self, n):
+        return self.s.regs[n]
+
+    def set_reg(self, n, value):
+        self.s.regs[n] = value
+
+    def pair(self, n):
+        return _op("pair", self.s.regs[n], self.s.regs[n + 1])
+
+    def set_pair(self, n, value):
+        self.s.regs[n] = _op("lo", value)
+        self.s.regs[n + 1] = _op("hi", value)
+
+    def flag(self, b):
+        return self.s.flags[b]
+
+    def sp_addr(self, off):
+        return _SP0 if off == 0 else Expr("add16", (_SP0, off))
+
+    def read_mem(self, addr, kind):
+        self.s.reads.append((kind, addr))
+        return Expr("mem", (addr, len(self.s.writes)))
+
+    def write_mem(self, addr, value, kind):
+        if isinstance(addr, int):
+            self._check_const_addr(addr)
+        self.s.writes.append(_Write(addr, value, kind))
+
+    # -- flag groups, matching repro.sim.core bit for bit -------------
+    def _nzs(self, res, v):
+        flags = self.s.flags
+        n = _op("bit", res, 7)
+        flags[_N] = n
+        flags[_V] = v
+        flags[_S] = _op("xor", n, v)
+        flags[_Z] = _op("eq0", res)
+
+    def _add(self, d, r_val, carry):
+        rd = self.reg(d)
+        res = _op("adc8", rd, r_val, carry)
+        flags = self.s.flags
+        flags[_H] = _op("h_add", rd, r_val, carry)
+        flags[_C] = _op("c_add", rd, r_val, carry)
+        self._nzs(res, _op("v_add", rd, r_val, carry))
+        self.set_reg(d, res)
+
+    def _sub(self, d, r_val, carry, store=True, keep_z=False):
+        rd = self.reg(d)
+        res = _op("sbc8", rd, r_val, carry)
+        flags = self.s.flags
+        z_prev = flags[_Z]
+        flags[_H] = _op("h_sub", rd, r_val, carry)
+        flags[_C] = _op("c_sub", rd, r_val, carry)
+        self._nzs(res, _op("v_sub", rd, r_val, carry))
+        if keep_z:
+            flags[_Z] = _op("and", flags[_Z], z_prev)
+        if store:
+            self.set_reg(d, res)
+
+    def _logic(self, d, res):
+        flags = self.s.flags
+        n = _op("bit", res, 7)
+        flags[_V] = 0
+        flags[_N] = n
+        flags[_S] = n
+        flags[_Z] = _op("eq0", res)
+        self.set_reg(d, res)
+
+    def _shift(self, d, rd, res):
+        flags = self.s.flags
+        c = _op("bit", rd, 0)
+        n = _op("bit", res, 7)
+        v = _op("xor", n, c)
+        flags[_C] = c
+        flags[_N] = n
+        flags[_V] = v
+        flags[_S] = _op("xor", n, v)
+        flags[_Z] = _op("eq0", res)
+        self.set_reg(d, res)
+
+    def _inc_dec(self, d, res, v):
+        flags = self.s.flags
+        n = _op("bit", res, 7)
+        flags[_V] = v
+        flags[_N] = n
+        flags[_S] = _op("xor", n, v)
+        flags[_Z] = _op("eq0", res)
+        self.set_reg(d, res)
+
+    def sreg_byte(self):
+        return _op("pack8", *self.s.flags)
+
+    def set_sreg_byte(self, value):
+        self.s.flags = [_op("bit", value, b) for b in range(8)]
+
+    # -- dispatch ------------------------------------------------------
+    def exec_line(self, line):
+        instr = line.instr
+        self._addr = line.byte_addr
+        self._key = instr.key
+        ops = instr.operands
+        s = self.s
+        key = instr.key
+
+        if key == "add":
+            self._add(ops[0], self.reg(ops[1]), 0)
+        elif key == "adc":
+            self._add(ops[0], self.reg(ops[1]), self.flag(_C))
+        elif key == "sub":
+            self._sub(ops[0], self.reg(ops[1]), 0)
+        elif key == "sbc":
+            self._sub(ops[0], self.reg(ops[1]), self.flag(_C),
+                      keep_z=True)
+        elif key == "subi":
+            self._sub(ops[0], ops[1], 0)
+        elif key == "sbci":
+            self._sub(ops[0], ops[1], self.flag(_C), keep_z=True)
+        elif key == "cp":
+            self._sub(ops[0], self.reg(ops[1]), 0, store=False)
+        elif key == "cpc":
+            self._sub(ops[0], self.reg(ops[1]), self.flag(_C),
+                      store=False, keep_z=True)
+        elif key == "cpi":
+            self._sub(ops[0], ops[1], 0, store=False)
+        elif key == "and":
+            self._logic(ops[0], _op("and", self.reg(ops[0]),
+                                    self.reg(ops[1])))
+        elif key == "andi":
+            self._logic(ops[0], _op("and", self.reg(ops[0]), ops[1]))
+        elif key == "or":
+            self._logic(ops[0], _op("or", self.reg(ops[0]),
+                                    self.reg(ops[1])))
+        elif key == "ori":
+            self._logic(ops[0], _op("or", self.reg(ops[0]), ops[1]))
+        elif key == "eor":
+            self._logic(ops[0], _op("xor", self.reg(ops[0]),
+                                    self.reg(ops[1])))
+        elif key == "com":
+            res = _op("com", self.reg(ops[0]))
+            flags = s.flags
+            flags[_C] = 1
+            n = _op("bit", res, 7)
+            flags[_V] = 0
+            flags[_N] = n
+            flags[_S] = n
+            flags[_Z] = _op("eq0", res)
+            self.set_reg(ops[0], res)
+        elif key == "neg":
+            rd = self.reg(ops[0])
+            res = _op("neg", rd)
+            flags = s.flags
+            flags[_H] = _op("h_neg", rd)
+            flags[_C] = _op("ne0", res)
+            self._nzs(res, _op("eq", res, 0x80))
+            self.set_reg(ops[0], res)
+        elif key == "inc":
+            rd = self.reg(ops[0])
+            self._inc_dec(ops[0], _op("add8", rd, 1), _op("eq", rd, 0x7F))
+        elif key == "dec":
+            rd = self.reg(ops[0])
+            self._inc_dec(ops[0], _op("sub8", rd, 1), _op("eq", rd, 0x80))
+        elif key == "swap":
+            self.set_reg(ops[0], _op("swap", self.reg(ops[0])))
+        elif key == "asr":
+            rd = self.reg(ops[0])
+            self._shift(ops[0], rd, _op("asr", rd))
+        elif key == "lsr":
+            rd = self.reg(ops[0])
+            self._shift(ops[0], rd, _op("shr", rd))
+        elif key == "ror":
+            rd = self.reg(ops[0])
+            self._shift(ops[0], rd, _op("rorc", rd, self.flag(_C)))
+        elif key == "mov":
+            self.set_reg(ops[0], self.reg(ops[1]))
+        elif key == "movw":
+            d, r = ops
+            self.set_reg(d, self.reg(r))
+            self.set_reg(d + 1, self.reg(r + 1))
+        elif key == "ldi":
+            self.set_reg(ops[0], ops[1] & 0xFF)
+        elif key == "mul":
+            product = _op("mul", self.reg(ops[0]), self.reg(ops[1]))
+            self.set_reg(0, _op("lo", product))
+            self.set_reg(1, _op("hi", product))
+            s.flags[_C] = _op("bit", product, 15)
+            s.flags[_Z] = _op("eq0", product)
+        elif key == "adiw":
+            d, k = ops
+            rd = self.pair(d)
+            res = _op("add16", rd, k)
+            self._adiw_sbiw(res, _op("v_adiw", rd, k),
+                            _op("c_adiw", rd, k))
+            self.set_pair(d, res)
+        elif key == "sbiw":
+            d, k = ops
+            rd = self.pair(d)
+            res = _op("sub16", rd, k)
+            self._adiw_sbiw(res, _op("v_sbiw", rd, k),
+                            _op("c_sbiw", rd, k))
+            self.set_pair(d, res)
+        elif key == "bset":
+            s.flags[ops[0]] = 1
+        elif key == "bclr":
+            s.flags[ops[0]] = 0
+        elif key == "bst":
+            s.flags[_T] = _op("bit", self.reg(ops[0]), ops[1])
+        elif key == "bld":
+            self.set_reg(ops[0], _op("setbit", self.reg(ops[0]),
+                                     ops[1], self.flag(_T)))
+        elif key == "push":
+            self.write_mem(self.sp_addr(s.sp_off),
+                           self.reg(ops[0]), "stack")
+            s.sp_off -= 1
+        elif key == "pop":
+            s.sp_off += 1
+            self.set_reg(ops[0],
+                         self.read_mem(self.sp_addr(s.sp_off), "stack"))
+        elif key == "lds":
+            self._check_const_addr(ops[1])
+            self.set_reg(ops[0], self.read_mem(ops[1], "data"))
+        elif key == "sts":
+            self._check_const_addr(ops[0])
+            self.write_mem(ops[0], self.reg(ops[1]), "data")
+        elif key in ("ld_x", "ld_xp", "ld_mx", "ld_yp", "ld_my",
+                     "ld_zp", "ld_mz", "ldd_y", "ldd_z"):
+            self._load_store(instr, ops, load=True)
+        elif key in ("st_x", "st_xp", "st_mx", "st_yp", "st_my",
+                     "st_zp", "st_mz", "std_y", "std_z"):
+            self._load_store(instr, ops, load=False)
+        elif key == "in":
+            self._in(ops[0], ops[1])
+        elif key == "out":
+            self._out(ops[0], ops[1])
+        elif key in ("sbi", "cbi"):
+            a, b = ops
+            self._check_io_plain(a)
+            value = self.read_mem(a + 0x20, "io")
+            if key == "sbi":
+                value = _op("or", value, 1 << b)
+            else:
+                value = _op("and", value, ~(1 << b) & 0xFF)
+            self.write_mem(a + 0x20, value, "io")
+        elif key == "lpm_r0":
+            self.set_reg(0, self._flash_read(self.pair(30)))
+        elif key == "lpm":
+            self.set_reg(ops[0], self._flash_read(self.pair(30)))
+        elif key == "lpm_zp":
+            z = self.pair(30)
+            self.set_reg(ops[0], self._flash_read(z))
+            self.set_pair(30, _op("add16", z, 1))
+        elif key in ("nop", "sleep", "wdr"):
+            pass
+        else:
+            raise UnsupportedInstruction(
+                line.byte_addr, key, "out of the symbolic model")
+
+    def _adiw_sbiw(self, res, v, c):
+        flags = self.s.flags
+        n = _op("bit", res, 15)
+        flags[_V] = v
+        flags[_C] = c
+        flags[_N] = n
+        flags[_S] = _op("xor", n, v)
+        flags[_Z] = _op("eq0", res)
+
+    def _check_const_addr(self, addr):
+        # the concrete core aliases the register file and SP/SREG into
+        # data space; the model keeps them separate, so constant
+        # accesses there are out of model (symbolic targets are assumed
+        # to stay in SRAM proper, as the Harbor store rule sanctions)
+        if addr < 0x20 or addr in (_SPL_ADDR, _SPH_ADDR, _SREG_ADDR):
+            raise UnsupportedInstruction(
+                self._addr, self._key,
+                "constant data address 0x{:02X} aliases the register "
+                "file / SP / SREG".format(addr))
+
+    def _check_io_plain(self, a):
+        if a + 0x20 in (_SREG_ADDR, _SPL_ADDR, _SPH_ADDR):
+            raise UnsupportedInstruction(
+                self._addr, self._key,
+                "bit access to SREG/SP is out of model")
+
+    def _flash_read(self, addr):
+        self.s.reads.append(("flash", addr))
+        return Expr("flash", (addr,))
+
+    def _load_store(self, instr, ops, load):
+        modes = instr.spec.modes
+        preg = _PTR_REG[modes["ptr"]]
+        ptr = self.pair(preg)
+        if modes.get("pre_dec"):
+            addr = _op("sub16", ptr, 1)
+            self.set_pair(preg, addr)
+        elif modes.get("post_inc"):
+            addr = ptr
+            self.set_pair(preg, _op("add16", ptr, 1))
+        elif modes.get("disp"):
+            # ldd operands (d, q); std operands (q, r)
+            q = ops[1] if load else ops[0]
+            addr = _op("add16", ptr, q)
+        else:
+            addr = ptr
+        if load:
+            self.set_reg(ops[0], self.read_mem(addr, "data"))
+        else:
+            self.write_mem(addr, self.reg(ops[-1]), "data")
+
+    def _in(self, d, a):
+        addr = a + 0x20
+        if addr == _SREG_ADDR:
+            self.set_reg(d, self.sreg_byte())
+        elif addr == _SPL_ADDR:
+            self.set_reg(d, _op("lo", self._sp_expr()))
+        elif addr == _SPH_ADDR:
+            self.set_reg(d, _op("hi", self._sp_expr()))
+        else:
+            self.set_reg(d, self.read_mem(addr, "io"))
+
+    def _out(self, a, r):
+        addr = a + 0x20
+        if addr == _SREG_ADDR:
+            self.set_sreg_byte(self.reg(r))
+        elif addr in (_SPL_ADDR, _SPH_ADDR):
+            raise UnsupportedInstruction(
+                self._addr, self._key, "writing SP is out of model")
+        else:
+            self.write_mem(addr, self.reg(r), "io")
+
+    def _sp_expr(self):
+        return self.sp_addr(self.s.sp_off)
+
+    def apply_call_model(self, model):
+        s = self.s
+        if model.store:
+            ea = self.pair(model.ptr_lo)
+            if model.ea_bias:
+                ea = _op("sub16", ea, -model.ea_bias)
+            if model.ea_uses_q:
+                ea = _op("add16", ea, self.reg(19))
+            self.write_mem(ea, self.reg(18), "data")
+        if model.delta:
+            preg = model.ptr_lo
+            if model.delta > 0:
+                self.set_pair(preg, _op("add16", self.pair(preg),
+                                        model.delta))
+            else:
+                self.set_pair(preg, _op("sub16", self.pair(preg),
+                                        -model.delta))
+        s.base_cycles += model.cycles
+        s.stub_calls.append(model.name)
+
+
+_CONTROL_KEYS = frozenset((
+    "rjmp", "jmp", "ijmp", "rcall", "call", "icall", "ret", "reti",
+    "brbs", "brbc", "cpse", "sbrc", "sbrs", "sbic", "sbis", "break",
+))
+
+
+def summarize(lines, call_models=None, next_size_words=1):
+    """Symbolically evaluate a straight-line block.
+
+    *lines* are disassembler ``Line`` objects (``.instr``,
+    ``.byte_addr``, ``.words``).  Control-transfer instructions are
+    only admitted as the final line (the block terminator); ``call``/
+    ``rcall`` to a target present in *call_models* (byte address ->
+    :class:`CallModel`) are applied atomically in the middle of the
+    block.  *next_size_words* sizes the skip-cost edge of a trailing
+    skip instruction.  Raises :class:`UnsupportedInstruction` for
+    anything outside the model.
+    """
+    summary = BlockSummary(lines)
+    sym = _Sym(summary, call_models)
+    models = sym.call_models
+    last = len(summary.lines) - 1
+    for index, line in enumerate(summary.lines):
+        instr = line.instr
+        if instr is None:
+            raise UnsupportedInstruction(
+                line.byte_addr, "?", "undecodable word")
+        key = instr.key
+        if key in _CONTROL_KEYS:
+            if key in ("call", "rcall"):
+                model = models.get(static_target(line))
+                if model is not None:
+                    summary.base_cycles += instr.spec.cycles
+                    sym.apply_call_model(model)
+                    continue
+                raise UnsupportedInstruction(
+                    line.byte_addr, key, "call to unmodelled target")
+            if index != last:
+                raise UnsupportedInstruction(
+                    line.byte_addr, key,
+                    "control transfer inside a straight-line block")
+            summary.base_cycles += instr.spec.cycles
+            summary.terminator = line
+            _apply_terminator(sym, summary, line, next_size_words)
+            break
+        summary.base_cycles += instr.spec.cycles
+        sym.exec_line(line)
+    return summary
+
+
+def _apply_terminator(sym, summary, line, next_size_words):
+    key = line.instr.key
+    ops = line.instr.operands
+    if key in ("rjmp", "jmp", "ret", "break"):
+        return
+    if key == "reti":
+        summary.flags[_I] = 1
+        return
+    if key == "brbs":
+        summary.extras.append((sym.flag(ops[0]), 1))
+    elif key == "brbc":
+        summary.extras.append((_op("not1", sym.flag(ops[0])), 1))
+    elif key == "cpse":
+        cond = _op("eq", sym.reg(ops[0]), sym.reg(ops[1]))
+        summary.extras.append((cond, next_size_words))
+    elif key == "sbrc":
+        cond = _op("not1", _op("bit", sym.reg(ops[0]), ops[1]))
+        summary.extras.append((cond, next_size_words))
+    elif key == "sbrs":
+        cond = _op("bit", sym.reg(ops[0]), ops[1])
+        summary.extras.append((cond, next_size_words))
+    elif key in ("sbic", "sbis"):
+        sym._addr, sym._key = line.byte_addr, key
+        sym._check_io_plain(ops[0])
+        value = sym.read_mem(ops[0] + 0x20, "io")
+        cond = _op("bit", value, ops[1])
+        if key == "sbic":
+            cond = _op("not1", cond)
+        summary.extras.append((cond, next_size_words))
+    else:
+        raise UnsupportedInstruction(
+            line.byte_addr, key, "indirect control transfer")
+
+
+# ---------------------------------------------------------------------
+# module-visible effects (translation validation)
+# ---------------------------------------------------------------------
+class ModuleEffect(object):
+    """A summary normalized to what the rest of the image can observe:
+    changed registers/flags, the ordered non-stack write log and the
+    net SP movement.  Stack-slot reads are resolved structurally
+    against the block's own pushes (sanctioned no-alias: a checked or
+    proven store can never target the protected stack region), and
+    scratch writes at or below the initial SP are dropped once the
+    block has restored SP — the Harbor frame discipline makes that
+    space dead."""
+
+    def __init__(self, regs, flags, writes, sp_off):
+        self.regs = regs          # {n: expr}
+        self.flags = flags        # {bit: expr}
+        self.writes = writes      # [(addr expr, value expr)]
+        self.sp_off = sp_off
+
+
+def _resolve_stack(x, writes, memo):
+    if isinstance(x, int):
+        return x
+    key = id(x)
+    if key in memo:
+        return memo[key]
+    if x.name == "mem":
+        off = _sp_slot(x.args[0])
+        if off is not None:
+            for write in reversed(writes[:x.args[1]]):
+                if _sp_slot(write.addr) == off:
+                    value = _resolve_stack(write.value, writes, memo)
+                    memo[key] = value
+                    return value
+            value = Expr("mem", (x.args[0], 0))
+            memo[key] = value
+            return value
+        addr = _resolve_stack(x.args[0], writes, memo)
+        value = Expr("mem", (addr, x.args[1]))
+        memo[key] = value
+        return value
+    args = tuple(_resolve_stack(a, writes, memo) for a in x.args)
+    value = _op(x.name, *args) if x.name in _OPS else Expr(x.name, args)
+    memo[key] = value
+    return value
+
+
+def block_effect(summary):
+    """The module-visible :class:`ModuleEffect` of a summary."""
+    memo = {}
+    writes = summary.writes
+    regs = {}
+    for n in range(32):
+        resolved = _resolve_stack(summary.regs[n], writes, memo)
+        if resolved != _REG0[n]:
+            regs[n] = resolved
+    flags = {}
+    for b in range(8):
+        resolved = _resolve_stack(summary.flags[b], writes, memo)
+        if resolved != _FLAG0[b]:
+            flags[b] = resolved
+    visible = []
+    for write in writes:
+        off = _sp_slot(write.addr)
+        if off is not None and off <= 0 and summary.sp_off == 0:
+            continue        # dead scratch below the restored SP
+        visible.append((_resolve_stack(write.addr, writes, memo),
+                        _resolve_stack(write.value, writes, memo)))
+    return ModuleEffect(regs, flags, visible, summary.sp_off)
+
+
+def effects_equal(a, b):
+    """Structural equality of two module-visible effects.
+
+    Returns ``(True, None)`` or ``(False, reason)``.
+    """
+    if a.sp_off != b.sp_off:
+        return False, "net SP movement differs ({} vs {})".format(
+            a.sp_off, b.sp_off)
+    for n in sorted(set(a.regs) | set(b.regs)):
+        if a.regs.get(n, _REG0[n]) != b.regs.get(n, _REG0[n]):
+            return False, "r{} differs: {!r} vs {!r}".format(
+                n, a.regs.get(n, _REG0[n]), b.regs.get(n, _REG0[n]))
+    for b_ in sorted(set(a.flags) | set(b.flags)):
+        if a.flags.get(b_, _FLAG0[b_]) != b.flags.get(b_, _FLAG0[b_]):
+            return False, "SREG bit {} differs".format(b_)
+    if len(a.writes) != len(b.writes):
+        return False, "write counts differ ({} vs {})".format(
+            len(a.writes), len(b.writes))
+    for i, ((aa, av), (ba, bv)) in enumerate(zip(a.writes, b.writes)):
+        if aa != ba:
+            return False, "write {} address differs: {!r} vs {!r}".format(
+                i, aa, ba)
+        if av != bv:
+            return False, "write {} value differs: {!r} vs {!r}".format(
+                i, av, bv)
+    return True, None
+
+
+# ---------------------------------------------------------------------
+# JIT-readiness classification
+# ---------------------------------------------------------------------
+CLASS_PURE = "pure"
+CLASS_TRANSLATABLE = "translatable"
+CLASS_UNTRANSLATABLE = "untranslatable"
+
+
+def classify_lines(lines):
+    """Classify a basic block for the block JIT.
+
+    Returns ``(cls, reason, byte_addr)`` where *cls* is one of
+    :data:`CLASS_PURE` (register/SREG-only effect — the JIT can
+    translate with no memory glue), :data:`CLASS_TRANSLATABLE` (fully
+    summarizable, possibly with memory traffic and calls treated as
+    block-internal control points) or :data:`CLASS_UNTRANSLATABLE`
+    (contains an instruction the symbolic model rejects); *reason* and
+    *byte_addr* locate the rejection for HL018 reporting.
+    """
+    runs = [[]]
+    for line in lines:
+        instr = line.instr
+        if instr is not None and instr.key in ("call", "rcall"):
+            # a call is a block-internal control point: the JIT re-
+            # enters the interpreter, so summarization restarts after
+            if runs[-1]:
+                runs.append([])
+            continue
+        runs[-1].append(line)
+    has_call = len(runs) > 1 or any(
+        line.instr is not None and line.instr.key in ("call", "rcall")
+        for line in lines)
+    summaries = []
+    try:
+        for run in runs:
+            if run:
+                summaries.append(summarize(run))
+    except UnsupportedInstruction as exc:
+        return CLASS_UNTRANSLATABLE, exc.reason, exc.byte_addr
+    if (not has_call and len(summaries) <= 1
+            and all(not s.writes and not s.reads and s.sp_off == 0
+                    and (s.terminator is None
+                         or s.terminator.instr.key in
+                         ("rjmp", "jmp", "brbs", "brbc"))
+                    for s in summaries)):
+        return CLASS_PURE, None, None
+    return CLASS_TRANSLATABLE, None, None

@@ -41,7 +41,6 @@ def format_instr(instr, byte_addr=0, symbols_by_addr=None):
     absolute hex byte addresses.
     """
     spec = instr.spec
-    key = spec.key
     symbols_by_addr = symbols_by_addr or {}
 
     def target_text(byte_target):

@@ -45,6 +45,14 @@ Installed as console scripts (see ``pyproject.toml``):
   proves redundant against the layout's static data spans, write the
   ``ElisionManifest`` proof records and re-lint the elided image; see
   the "Check elision" section of ``docs/static-analysis.md``.
+* ``harbor-certify MODULE[:EXPORTS] [...]`` — translation validation:
+  load modules through the rewrite→(elide)→verify pipeline, then prove
+  the installed flash is a sanctioned translation of each source
+  (checked/manifest-covered stores, frame discipline, control-edge
+  correspondence; ``HL017`` on any mismatch) and classify every
+  installed block for the planned block JIT (``HL018`` notes);
+  ``--report`` writes the JIT-readiness JSON; see the "Translation
+  validation" section of ``docs/static-analysis.md``.
 
 The image format is deliberately trivial: one ``ADDR: WORD`` hex pair
 per line (word addresses), so images are diffable and editable.
@@ -547,6 +555,16 @@ def cmd_lint(argv=None):
                         default="error",
                         help="exit 1 when a finding at or above this "
                              "severity exists (default: error)")
+    parser.add_argument("--select", action="append", default=[],
+                        metavar="RULES",
+                        help="only report these rules (comma-separated "
+                             "HL codes or slugs, repeatable); also "
+                             "narrows the --fail-on gate")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="RULES",
+                        help="drop these rules from the report and the "
+                             "--fail-on gate (comma-separated HL codes "
+                             "or slugs, repeatable)")
     parser.add_argument("--data-span", action="append", default=[],
                         metavar="MODULE:LO-HI",
                         help="declare [LO, HI] (module-relative byte "
@@ -574,6 +592,12 @@ def cmd_lint(argv=None):
                 (int(lo_text, 0), int(hi_text, 0)))
     except ValueError as exc:
         print("error: bad --data-span: {}".format(exc), file=sys.stderr)
+        return 2
+    try:
+        selected = _parse_rule_filter(args.select)
+        ignored = _parse_rule_filter(args.ignore)
+    except KeyError as exc:
+        print("error: {}".format(exc.args[0]), file=sys.stderr)
         return 2
 
     if args.umpu:
@@ -625,6 +649,11 @@ def cmd_lint(argv=None):
                                 dead_code=not args.no_dead_code,
                                 extra_modules=extra_regions)
     engine = report.diagnostics
+    if selected or ignored:
+        engine.findings[:] = [
+            d for d in engine.findings
+            if (not selected or d.rule.code in selected)
+            and d.rule.code not in ignored]
     analysis = report.analysis_dict()
     if args.format == "text":
         text = engine.render_text()
@@ -645,6 +674,20 @@ def cmd_lint(argv=None):
     if args.output:
         print("; lint report -> {}".format(args.output), file=sys.stderr)
     return 1 if _findings_at_or_above(engine, args.fail_on) else 0
+
+
+def _parse_rule_filter(specs):
+    """Resolve repeatable comma-separated HL codes / slugs to a code
+    set (harbor-lint ``--select`` / ``--ignore``); unknown tokens raise
+    the diagnostics catalog's KeyError."""
+    from repro.analysis.static.diagnostics import rule
+    codes = set()
+    for spec in specs:
+        for token in spec.split(","):
+            token = token.strip()
+            if token:
+                codes.add(rule(token).code)
+    return codes
 
 
 def _findings_at_or_above(engine, threshold):
@@ -758,6 +801,166 @@ def cmd_opt(argv=None):
     return 1 if _findings_at_or_above(engine, args.fail_on) else 0
 
 
+def cmd_certify(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-certify",
+        description="translation validation: load modules through the "
+                    "rewrite/(elide)/verify pipeline, prove the "
+                    "installed flash is a sanctioned translation of "
+                    "each source (HL017 on mismatch) and classify "
+                    "every installed block for the planned block JIT "
+                    "(HL018 notes)")
+    parser.add_argument("modules", nargs="+", metavar="MODULE[:EXPORTS]",
+                        help="module source (.s) or image (.hex); "
+                             "EXPORTS is a comma-separated export list "
+                             "(default: every label)")
+    parser.add_argument("--elide", action="store_true",
+                        help="run the proof-directed check-elision "
+                             "pass; the resulting manifest is part of "
+                             "what certification re-proves")
+    parser.add_argument("--static-data", type=lambda v: int(v, 0),
+                        default=0, metavar="BYTES",
+                        help="per-domain static data span size "
+                             "(multiple of 256; implies a span per "
+                             "module; default 0)")
+    parser.add_argument("--unchecked", action="store_true",
+                        help="place the raw images without the "
+                             "rewriter pipeline and certify them as "
+                             "installed — a miscompiled or hand-"
+                             "patched image fails with HL017")
+    parser.add_argument("--allow-io", action="append", default=[],
+                        type=lambda v: int(v, 0),
+                        help="whitelisted I/O address (repeatable)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the diagnostics report here "
+                             "(in --format)")
+    parser.add_argument("--report", default=None, metavar="OUT.json",
+                        help="write the JIT-readiness JSON (per-module "
+                             "block classification + counts) here")
+    parser.add_argument("--fail-on", choices=("error", "warning", "note"),
+                        default="error",
+                        help="exit 1 when a finding at or above this "
+                             "severity exists (default: error)")
+    args = parser.parse_args(argv)
+    import json as json_mod
+
+    from repro.analysis.static import write_report
+    from repro.analysis.static.diagnostics import DiagnosticsEngine
+    from repro.analysis.static.transval import validate_translation
+    from repro.asm.assembler import default_symbols
+    from repro.sfi.layout import SfiLayout
+    from repro.sfi.system import SfiSystem
+
+    try:
+        layout = SfiLayout(static_data_bytes=args.static_data,
+                           static_data_domains=min(
+                               len(args.modules),
+                               SfiLayout().ndomains - 1)
+                           if args.static_data else 0)
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    system = SfiSystem(layout=layout, allowed_io=tuple(args.allow_io))
+    predefined = set(default_symbols())
+    engine = DiagnosticsEngine()
+    reports = []
+    try:
+        for spec in args.modules:
+            path, _, exports_text = spec.partition(":")
+            if path.endswith(".hex"):
+                program = _load_image(path)
+            else:
+                asm = Assembler(symbols=system.kernel_symbols())
+                program = asm.assemble(_read_source(path), name=path)
+            lo, hi = program.extent()
+            labels = {n: a for n, a in program.symbols.items()
+                      if n not in predefined and lo * 2 <= a <= hi * 2 + 1}
+            exports = tuple(e for e in exports_text.split(",") if e) \
+                or tuple(sorted(labels))
+            name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+            if args.unchecked:
+                base = system._next_load
+                for word_addr, value in program.words.items():
+                    system.machine.memory.write_flash_word(
+                        base // 2 + word_addr - lo, value)
+                system.machine.core.invalidate_decode_cache()
+                end = base + (hi - lo + 1) * 2
+                system._next_load = (end + 0xFF) & ~0xFF
+                report = validate_translation(
+                    program, system.machine.memory.read_flash_word,
+                    base, end, system.layout, system.runtime.symbols,
+                    exports=exports, engine=engine, region=name,
+                    module=name)
+            else:
+                module = system.load_module(program, name,
+                                            exports=exports,
+                                            elide=args.elide)
+                export_targets = {
+                    e: system.linker.export_target(module.domain, e)
+                    for e in module.exports}
+                report = validate_translation(
+                    program, system.machine.memory.read_flash_word,
+                    module.start, module.end, system.layout,
+                    system.runtime.symbols, exports=exports,
+                    manifest=module.manifest,
+                    export_targets=export_targets, engine=engine,
+                    region=name, domain=module.domain, module=name)
+                module.certification = report
+            reports.append(report)
+    except (AsmError, OSError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    except (RewriteError, VerifyError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+    summary = {
+        "schema": 1,
+        "modules": [r.to_dict() for r in reports],
+        "certified": all(r.ok for r in reports),
+        "blocks": sum(len(r.blocks) for r in reports),
+        "translatable_blocks": sum(r.translatable_blocks
+                                   for r in reports),
+        "untranslatable_blocks": sum(r.untranslatable_blocks
+                                     for r in reports),
+        "store_checks": sum(r.store_checks for r in reports),
+        "semantic_proofs": sum(r.semantic_proofs for r in reports),
+        "elided_sites": sum(r.elided_sites for r in reports),
+    }
+    if args.format == "text":
+        text = engine.render_text()
+        for r in reports:
+            text += ("\n{}: {} — {} line(s) matched, {} checked "
+                     "store(s) ({} symbolically proved), {} elided "
+                     "site(s); {} block(s): {} translatable, {} "
+                     "untranslatable".format(
+                         r.module,
+                         "certified" if r.ok else "REJECTED",
+                         r.matched_lines, r.store_checks,
+                         r.semantic_proofs, r.elided_sites,
+                         len(r.blocks), r.translatable_blocks,
+                         r.untranslatable_blocks))
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+    else:
+        if args.output:
+            write_report(args.output, engine, fmt=args.format,
+                         analysis=summary)
+        doc = engine.to_sarif() if args.format == "sarif" \
+            else engine.to_dict(analysis=summary)
+        print(json_mod.dumps(doc, indent=1, sort_keys=True))
+    if args.report:
+        with open(args.report, "w") as handle:
+            json_mod.dump(summary, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("; JIT-readiness report -> {}".format(args.report),
+              file=sys.stderr)
+    return 1 if _findings_at_or_above(engine, args.fail_on) else 0
+
+
 def cmd_fuzz(argv=None):
     parser = argparse.ArgumentParser(
         prog="harbor-fuzz",
@@ -842,11 +1045,11 @@ def main(argv=None):
              "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile,
              "replay": cmd_replay, "explain-fault": cmd_explain_fault,
              "metrics": cmd_metrics, "lint": cmd_lint, "opt": cmd_opt,
-             "fuzz": cmd_fuzz}
+             "certify": cmd_certify, "fuzz": cmd_fuzz}
     if not argv or argv[0] not in tools:
         print("usage: python -m repro.cli "
               "{asm|disasm|rewrite|verify|run|trace|profile|replay|"
-              "explain-fault|metrics|lint|opt|fuzz} ...",
+              "explain-fault|metrics|lint|opt|certify|fuzz} ...",
               file=sys.stderr)
         return 64
     return tools[argv[0]](argv[1:])

@@ -62,6 +62,9 @@ class LoadedModule:
     #: ElisionManifest when the module was loaded with ``elide=True``
     #: and at least one check was proved away, else None
     manifest: object = None
+    #: TranslationReport when the module was loaded with
+    #: ``certify=True``, else None
+    certification: object = None
 
 
 class SfiSystem:
@@ -163,7 +166,7 @@ class SfiSystem:
 
     # ------------------------------------------------------------------
     def load_module(self, program, name, exports=(), entries=(),
-                    lint=None, elide=False):
+                    lint=None, elide=False, certify=False):
         """Admit a module: rewrite, verify, link, install.
 
         *program* is the module's assembled image (unsandboxed).
@@ -185,6 +188,16 @@ class SfiSystem:
         the resulting :class:`ElisionManifest` accompanies the image
         through verification (and is re-proved against the installed
         flash).  With no provable sites this degrades to a normal load.
+
+        *certify* additionally runs translation validation
+        (:mod:`repro.analysis.static.transval`): the installed flash is
+        proved to be a sanctioned translation of *program* (checked or
+        manifest-covered stores, frame discipline, control-edge
+        correspondence), the ``certified_blocks`` /
+        ``translatable_blocks`` / ``transval_mismatches`` gauges are
+        published, and the load is rolled back with an HL017
+        :class:`VerifyError` on any mismatch.  The report lands on
+        ``module.certification``.
         """
         if self._free_domains:
             domain = self._free_domains.pop(0)
@@ -221,6 +234,8 @@ class SfiSystem:
         self._next_load = (rewritten.end + 0xFF) & ~0xFF
         if lint if lint is not None else self.strict_lint:
             self._lint_gate(name)
+        if certify:
+            self._certify_gate(name, program, exports, entries)
         return module
 
     # ------------------------------------------------------------------
@@ -328,6 +343,40 @@ class SfiSystem:
                     name, ", ".join(codes), first.message),
                 byte_addr=first.byte_addr, rule=first.rule.code)
 
+
+    def _certify_gate(self, name, program, exports, entries):
+        """Translation validation admission: prove the installed flash
+        is a sanctioned translation of the source, publish the
+        JIT-readiness gauges, and back the load out on any HL017."""
+        from repro.analysis.static.transval import validate_translation
+        module = self.modules[name]
+        export_targets = {
+            e: self.linker.export_target(module.domain, e)
+            for e in module.exports}
+        report = validate_translation(
+            program, self.machine.memory.read_flash_word,
+            module.start, module.end, self.layout,
+            self.runtime.symbols, exports=exports, entries=entries,
+            manifest=module.manifest, export_targets=export_targets,
+            region=name, domain=module.domain, module=name)
+        module.certification = report
+        metrics = getattr(self.machine.core, "metrics", None)
+        if metrics is not None:
+            metrics.gauge("certified_blocks", module=name).set(
+                report.certified_blocks)
+            metrics.gauge("translatable_blocks", module=name).set(
+                report.translatable_blocks)
+            metrics.gauge("transval_mismatches", module=name).set(
+                report.mismatches)
+        if not report.ok:
+            first = next(f for f in report.engine.findings
+                         if f.rule.code == "HL017")
+            self.unload_module(name)
+            raise VerifyError(
+                "translation validation rejected module {!r}: "
+                "{}".format(name, first.message),
+                byte_addr=first.byte_addr, rule="HL017")
+        return report
 
     def unload_module(self, name):
         """Unload a module: free every heap segment its domain owns,

@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import (
     cmd_asm,
+    cmd_certify,
     cmd_disasm,
     cmd_explain_fault,
     cmd_lint,
@@ -391,3 +392,117 @@ def test_main_multiplexes_opt(tmp_path, capsys):
                  "logger_fill,logger_set,logger_tally",
                  "--static-data", "256", "-o", str(out)]) == 0
     assert out.exists()
+
+
+# ---------------------------------------------------------------------
+# harbor-lint --select / --ignore
+
+
+def test_lint_select_narrows_report_and_gate(miscompiled, capsys):
+    # all three errors report by default (exit 1)
+    assert cmd_lint(["--unchecked", miscompiled]) == 1
+    capsys.readouterr()
+    # selecting one rule narrows both the report and the gate
+    assert cmd_lint(["--unchecked", miscompiled,
+                     "--select", "HL001"]) == 1
+    out = capsys.readouterr().out
+    assert "HL001" in out
+    assert "HL002" not in out and "HL003" not in out
+    assert "1 finding(s)" in out
+
+
+def test_lint_select_accepts_slugs_and_commas(miscompiled, capsys):
+    assert cmd_lint(["--unchecked", miscompiled,
+                     "--select", "unchecked-store,HL002"]) == 1
+    out = capsys.readouterr().out
+    assert "HL001" in out and "HL002" in out
+    assert "HL003" not in out
+
+
+def test_lint_ignore_drops_rules_from_gate(miscompiled, capsys):
+    # ignoring every firing rule flips the exit code to 0
+    assert cmd_lint(["--unchecked", miscompiled,
+                     "--ignore", "HL001,HL002",
+                     "--ignore", "missing-restore-ret"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_select_unknown_rule_is_an_internal_error(miscompiled,
+                                                       capsys):
+    assert cmd_lint(["--unchecked", miscompiled,
+                     "--select", "HL999"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_lint_select_preserves_fail_on_contract(tmp_path, capsys):
+    path = tmp_path / "noted.s"
+    path.write_text(NOTED_MODULE)
+    # HL010 (note) selected: reported, but only --fail-on note gates
+    assert cmd_lint([str(path), "--select", "HL010"]) == 0
+    assert "HL010" in capsys.readouterr().out
+    assert cmd_lint([str(path), "--select", "HL010",
+                     "--fail-on", "note"]) == 1
+
+
+# ---------------------------------------------------------------------
+# harbor-certify
+
+
+def test_certify_clean_module_exits_zero(capsys):
+    assert cmd_certify(["examples/modules/clean_sensor.s"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+    assert "clean_sensor: certified" in out
+    assert "symbolically proved" in out
+
+
+def test_certify_elided_module_exits_zero(capsys):
+    assert cmd_certify(["examples/modules/static_logger.s:"
+                        "logger_fill,logger_set,logger_tally",
+                        "--elide", "--static-data", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "static_logger: certified" in out
+    assert "0 elided site(s)" not in out
+
+
+def test_certify_unchecked_miscompiled_fails_hl017(miscompiled,
+                                                   capsys):
+    assert cmd_certify(["--unchecked", miscompiled]) == 1
+    out = capsys.readouterr().out
+    assert "HL017" in out
+    assert "REJECTED" in out
+
+
+def test_certify_json_report_and_artifact(tmp_path, capsys):
+    out = tmp_path / "certify.json"
+    report = tmp_path / "jit.json"
+    assert cmd_certify(["examples/modules/clean_sensor.s",
+                        "--format", "json", "-o", str(out),
+                        "--report", str(report)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["analysis"]["certified"] is True
+    assert doc["analysis"]["translatable_blocks"] > 0
+    saved = json.loads(out.read_text())
+    assert saved["analysis"]["certified"] is True
+    jit = json.loads(report.read_text())
+    assert jit["schema"] == 1
+    assert jit["modules"][0]["module"] == "clean_sensor"
+    assert jit["modules"][0]["ok"] is True
+
+
+def test_certify_sarif_contains_hl017_rule(miscompiled, capsys):
+    assert cmd_certify(["--unchecked", miscompiled,
+                        "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    results = doc["runs"][0]["results"]
+    assert any(r["ruleId"] == "HL017" for r in results)
+
+
+def test_certify_missing_file_is_an_internal_error(capsys):
+    assert cmd_certify(["/nonexistent/module.s"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_main_multiplexes_certify(capsys):
+    assert main(["certify", "examples/modules/clean_sensor.s"]) == 0
+    assert "certified" in capsys.readouterr().out

@@ -64,7 +64,7 @@ def test_untrusted_cannot_touch_trusted_globals(system):
 
 
 def test_store_unchecked_bypasses(system):
-    d = system.create_domain()
+    system.create_domain()
     system.store_unchecked(0x100, 0x55)  # no fault, no checks
     assert system.load(0x100) == 0x55
 

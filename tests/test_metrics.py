@@ -196,3 +196,31 @@ def test_sample_on_plain_machine_sets_core_gauges_only():
     gauge_names = {g["name"] for g in doc["gauges"]}
     assert "mmc_checked_stores" not in gauge_names
     assert "cross_domain_nesting" not in gauge_names
+
+
+def test_certify_publishes_jit_readiness_gauges():
+    """load_module(certify=True) publishes the translation-validation
+    gauges that back the JIT-readiness report."""
+    from repro.asm.assembler import Assembler
+    from repro.sfi.system import SfiSystem
+
+    system = SfiSystem()
+    registry = system.machine.attach_metrics()
+    asm = Assembler(symbols=system.kernel_symbols())
+    with open("examples/modules/clean_sensor.s") as handle:
+        program = asm.assemble(handle.read(), name="clean_sensor.s")
+    module = system.load_module(
+        program, "mod", exports=("sample", "tally", "report"),
+        certify=True)
+    report = module.certification
+    certified = registry.gauge("certified_blocks", module="mod")
+    translatable = registry.gauge("translatable_blocks", module="mod")
+    mismatches = registry.gauge("transval_mismatches", module="mod")
+    assert certified.value == report.certified_blocks > 0
+    assert translatable.value == report.translatable_blocks > 0
+    assert translatable.value <= certified.value
+    assert mismatches.value == 0
+    doc = registry.to_dict()
+    names = {g["name"] for g in doc["gauges"]}
+    assert {"certified_blocks", "translatable_blocks",
+            "transval_mismatches"} <= names

@@ -184,7 +184,6 @@ def test_unload_module_reclaims_everything(system_cls):
            "    st X, r18\n    ret\n")
     mod = system.load_module(assemble(src, "m1"), "m1", exports=("own",))
     buf = system.malloc(16, domain=mod.domain)
-    entry = mod.exports["own"]
     system.unload_module("m1")
     # memory reclaimed
     assert system.memmap.owner_of(buf) == TRUSTED_DOMAIN

@@ -123,7 +123,6 @@ def test_cross_domain_call_sequence(rw):
     res = rewrite(rw, "f:\n    call {}\n    ret\n".format(jt_entry),
                   exports=("f",))
     assert res.stats["cross_calls"] == 1
-    keys = keys_of(res)
     # push Z, ldi Z with the word address, call stub, pop Z
     ldis = [l.instr for l in disassemble(res.program)
             if l.instr is not None and l.instr.key == "ldi"]

@@ -77,7 +77,7 @@ def test_checker_trusted_writes_anywhere(m):
 
 def test_checker_module_own_block(m):
     set_domain(m, 0)
-    cyc = m.call("hb_malloc", 16)
+    m.call("hb_malloc", 16)
     p = m.result16()
     assert check(m, p) == FAULT_NONE
     assert m.memory.read_data(p) == 0xAA
