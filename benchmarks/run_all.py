@@ -44,6 +44,7 @@ MODULES = [
     ("bench_fuzz_corpus", "Hostile-corpus soundness campaign"),
     ("bench_replay_overhead", "Timeline record-mode overhead"),
     ("bench_transval", "Translation validation / JIT readiness"),
+    ("bench_raceck", "Interrupt-race analysis / latency certificate"),
 ]
 
 #: modules skipped under ``--quick``: corpus generators / stress

@@ -1,0 +1,36 @@
+; A temporally-buggy sampler: the mainline keeps a 16-bit tick counter
+; at 0x0700/0x0701 that a timer ISR (__vector_1) also increments.  The
+; read-modify-write in sample_poll runs with interrupts enabled, so the
+; ISR can fire between the load and the store (lost update, HL019) and
+; between the two bytes of the counter (torn access, HL020).  The
+; safe_reset path shows the fix: the same stores inside a cli/sei
+; region are interrupt-atomic and race-free.
+;
+;   python -m repro.cli race examples/modules/racy_sampler.s
+;
+; exits 1 with HL019 + HL020 findings and a two-site witness per race;
+; clean_sensor.s (no ISRs) analyzes race-free and exits 0.
+
+sample_poll:
+    lds r24, 0x0700        ; tick_lo   <- torn 16-bit read (HL020)
+    lds r25, 0x0701        ; tick_hi
+    adiw r24, 1
+    sts 0x0700, r24        ; unprotected shared write (HL019)
+    sts 0x0701, r25        ; second byte of the torn write (HL020)
+    ret
+
+safe_reset:
+    cli                    ; interrupt-atomic region starts here
+    ldi r24, 0
+    sts 0x0700, r24        ; atomic: no findings for these stores
+    sts 0x0701, r24
+    sei
+    ret
+
+__vector_1:
+    push r24               ; timer tick: bump the low counter byte
+    lds r24, 0x0700
+    inc r24
+    sts 0x0700, r24
+    pop r24
+    reti

@@ -14,6 +14,16 @@ from repro.analysis.static.analyses import (
     lint_system,
 )
 from repro.analysis.static.cfg import RegionCFG
+from repro.analysis.static.concurrency import (
+    ConcurrencyAnalysis,
+    ConcurrencyReport,
+    IsrInfo,
+    LatencyReport,
+    analyze_region_concurrency,
+    find_isr_labels,
+    publish_gauges,
+    vector_table_isrs,
+)
 from repro.analysis.static.diagnostics import (
     RULES,
     Diagnostic,
@@ -63,12 +73,16 @@ __all__ = [
     "CLASS_UNTRANSLATABLE",
     "CallModel",
     "ConcreteEnv",
+    "ConcurrencyAnalysis",
+    "ConcurrencyReport",
     "Diagnostic",
     "DiagnosticsEngine",
     "ElisionManifest",
     "ImageAnalyzer",
     "ImageModel",
     "ImageReport",
+    "IsrInfo",
+    "LatencyReport",
     "ModuleRegion",
     "PROOF_FAULTING",
     "PROOF_IN_DOMAIN",
@@ -82,16 +96,20 @@ __all__ = [
     "TranslationReport",
     "UnsupportedInstruction",
     "analyze_image",
+    "analyze_region_concurrency",
     "block_effect",
     "build_manifest",
     "classify_lines",
     "effects_equal",
+    "find_isr_labels",
     "image_after",
     "image_checksum",
     "lint_system",
+    "publish_gauges",
     "rule",
     "run_summary",
     "stub_call_models",
     "summarize",
     "validate_translation",
+    "vector_table_isrs",
 ]

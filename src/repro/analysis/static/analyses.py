@@ -161,12 +161,18 @@ class ImageReport:
     stack: StackBoundReport = None
     overhead: list = field(default_factory=list)
     dead_blocks: dict = field(default_factory=dict)
+    #: region name -> ConcurrencyReport, for regions with ISRs
+    concurrency: dict = field(default_factory=dict)
 
     def analysis_dict(self):
         """JSON-ready summary of the non-diagnostic results."""
         doc = {"overhead": [], "dead_blocks": {
             name: sorted(blocks) for name, blocks in
             self.dead_blocks.items()}}
+        if self.concurrency:
+            doc["concurrency"] = {
+                name: rep.to_dict()
+                for name, rep in sorted(self.concurrency.items())}
         if self.stack is not None:
             doc["stack"] = {
                 "capacity_bytes": self.stack.capacity,
@@ -224,6 +230,8 @@ class ImageReport:
                         "?" if bound.local_bytes is None
                         else bound.local_bytes,
                         ", ".join(bound.regions)))
+        for _name, rep in sorted(self.concurrency.items()):
+            lines.append(rep.render())
         for region in self.overhead:
             lines.append(
                 "overhead {}: {} checked-store site(s), {} xdom site(s), "
@@ -250,8 +258,9 @@ class ImageReport:
 class ImageAnalyzer:
     """Runs the four analyses over an :class:`ImageModel`."""
 
-    def __init__(self, model):
+    def __init__(self, model, latency_budget=None):
         self.model = model
+        self.latency_budget = latency_budget
         self.diags = DiagnosticsEngine()
         self.symbols_by_addr = model.symbols_by_addr()
         syms = model.symbols
@@ -314,6 +323,20 @@ class ImageAnalyzer:
                 report.overhead.append(self._overhead(region))
         self._check_jump_table()
         report.stack = self._stack_bounds()
+        # Analysis 5: interrupt-aware concurrency, for any region that
+        # declares interrupt handlers (no existing system image does by
+        # default, so lint output is unchanged without ISRs).
+        from repro.analysis.static.concurrency import (
+            analyze_region_concurrency,
+        )
+        for region in self.model.regions:
+            isrs = self.model.isr_handlers(region)
+            if not isrs:
+                continue
+            report.concurrency[region.name] = analyze_region_concurrency(
+                self.model, region, engine=self.diags,
+                budget=self.latency_budget, isrs=isrs,
+                call_models=self.call_models)
         return report
 
     # ------------------------------------------------------------------
@@ -931,9 +954,10 @@ class ImageAnalyzer:
 # =====================================================================
 # Entry points
 # =====================================================================
-def analyze_image(model, dead_code=True):
+def analyze_image(model, dead_code=True, latency_budget=None):
     """Run all analyses; returns an :class:`ImageReport`."""
-    return ImageAnalyzer(model).run(dead_code=dead_code)
+    return ImageAnalyzer(model, latency_budget=latency_budget).run(
+        dead_code=dead_code)
 
 
 def lint_system(system, dead_code=True, extra_modules=()):

@@ -17,6 +17,7 @@ imports it for rule codes without dragging the analyzer (or an import
 cycle) along.
 """
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 
@@ -188,6 +189,47 @@ RULES = tuple(Rule(*fields) for fields in (
      "block JIT.  This is informational: the block is still safe and "
      "still verified — it just does not count toward the "
      "translatable-cycle fraction of the JIT-readiness report."),
+    ("HL019", "unprotected-shared-write", "error",
+     "mainline access races an ISR on shared RAM without cli/sei",
+     "The I-bit dataflow analysis partitions the image into "
+     "interrupt-atomic regions (interrupts provably disabled: after "
+     "cli, inside an ISR body, or under a saved-SREG restore that "
+     "provably re-installs a disabled I bit) and interruptible "
+     "regions.  The race detector then intersects the "
+     "absint-resolved store/load target intervals of interruptible "
+     "mainline code against each ISR's access set.  A mainline "
+     "access that overlaps an ISR access, where at least one side "
+     "writes, is an unprotected shared access: the ISR can fire "
+     "between the mainline load and store (or mid-update) and the "
+     "classic lost-update / stale-read interleavings become "
+     "reachable.  Wrap the mainline access in cli/sei (or an "
+     "in-SREG/cli/.../out-SREG save-restore) or move the shared "
+     "variable behind an atomic protocol."),
+    ("HL020", "torn-shared-access", "error",
+     "multi-byte shared object is read or written non-atomically",
+     "The AVR moves one byte per instruction, so a 16-bit (or wider) "
+     "object shared with an ISR is updated as a sequence of byte "
+     "accesses.  The detector groups adjacent-byte accesses of the "
+     "same kind inside a basic block into one logical wide access; "
+     "if any byte of the group executes with interrupts possibly "
+     "enabled and the object overlaps an ISR's access set, the ISR "
+     "can fire between the bytes and observe (or be clobbered by) a "
+     "torn value — high byte new, low byte old.  Every byte of the "
+     "wide access must sit inside one interrupt-atomic region."),
+    ("HL021", "interrupt-latency-unbounded", "warning",
+     "interrupt latency is unbounded or exceeds the configured budget",
+     "The static latency certifier combines the datasheet cycle "
+     "model with absint-derived loop bounds to compute each ISR's "
+     "WCET and the longest interrupt-disabled region in cycles, and "
+     "from them a static bound on interrupt-entry latency.  The "
+     "bound degrades to 'unbounded' when a disabled region or ISR "
+     "body contains an indirect jump, a call outside the analyzed "
+     "image, or a loop whose trip count the abstract interpreter "
+     "cannot resolve to a constant — and the rule also fires when a "
+     "finite bound exceeds the configured cycle budget "
+     "(--latency-budget).  The runtime irq_entry_latency histogram "
+     "must stay at or below this bound; the raceck benchmark "
+     "cross-checks the two."),
 ))
 
 RULE_BY_CODE = {rule.code: rule for rule in RULES}
@@ -364,3 +406,61 @@ def write_report(path, engine, fmt="json", analysis=None):
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=1, sort_keys=True)
     return path
+
+
+# =====================================================================
+# Baselines: suppress known findings so CI fails only on new ones
+# =====================================================================
+#: schema version of the baseline suppression file
+BASELINE_SCHEMA = 1
+
+
+def finding_fingerprint(diag):
+    """Stable content hash of one finding: rule + region + message.
+
+    Together with the rule code and pc this keys a baseline entry —
+    the finding is suppressed only while it stays at the same site
+    with the same message."""
+    basis = "|".join((diag.rule.code, diag.region or "", diag.message))
+    return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
+
+def _baseline_key(diag):
+    return (diag.rule.code, diag.byte_addr, finding_fingerprint(diag))
+
+
+def write_baseline(path, engine):
+    """Write every current finding as a suppression entry."""
+    doc = {"schema": BASELINE_SCHEMA, "suppressions": [
+        {"rule": code, "pc": pc, "fingerprint": fp}
+        for code, pc, fp in sorted(
+            {_baseline_key(d) for d in engine.findings},
+            key=lambda k: (k[0], k[1] if k[1] is not None else -1, k[2]))
+    ]}
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+    return path
+
+
+def load_baseline(path):
+    """Read a baseline file; returns the suppression key set."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError("unsupported baseline schema {!r}"
+                         .format(doc.get("schema")))
+    return {(e["rule"], e["pc"], e["fingerprint"])
+            for e in doc.get("suppressions", ())}
+
+
+def apply_baseline(engine, suppressions):
+    """Drop suppressed findings from *engine* (report and gate see only
+    new findings); returns how many were suppressed."""
+    kept, suppressed = [], 0
+    for diag in engine.findings:
+        if _baseline_key(diag) in suppressions:
+            suppressed += 1
+        else:
+            kept.append(diag)
+    engine.findings[:] = kept
+    return suppressed

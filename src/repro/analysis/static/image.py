@@ -66,7 +66,8 @@ class ImageModel:
     """A flash image plus the layout metadata the analyses need."""
 
     def __init__(self, read_word, layout, jump_table, runtime_region,
-                 modules=(), symbols=None, allowed_io=(), mode="sfi"):
+                 modules=(), symbols=None, allowed_io=(), mode="sfi",
+                 isrs=()):
         self.read_word = read_word
         self.layout = layout
         self.jump_table = jump_table
@@ -75,6 +76,9 @@ class ImageModel:
         self.symbols = dict(symbols or {})     # name -> byte address
         self.allowed_io = frozenset(allowed_io)
         self.mode = mode                       # "sfi" | "umpu"
+        #: explicitly registered interrupt handlers (IsrInfo list);
+        #: :meth:`isr_handlers` unions these with label discovery
+        self.isrs = list(isrs)
         self._cfgs = {}
 
     # ------------------------------------------------------------------
@@ -162,6 +166,31 @@ class ImageModel:
         if byte_addr in by_addr:
             return by_addr[byte_addr]
         return "0x{:04x}".format(byte_addr)
+
+    # ------------------------------------------------------------------
+    def isr_handlers(self, region):
+        """The interrupt handlers living inside *region*: explicitly
+        registered ones (:attr:`isrs`) plus any discovered from the
+        region's entry labels (``__vector_N`` / ``isr_*`` / ``*_isr``
+        convention — see
+        :func:`repro.analysis.static.concurrency.find_isr_labels`)."""
+        from repro.analysis.static.concurrency import find_isr_labels
+        explicit = [i for i in self.isrs
+                    if region.start <= i.entry < region.end]
+        taken = {i.entry for i in explicit}
+        for isr in find_isr_labels(region.entries):
+            if isr.entry not in taken:
+                explicit.append(isr)
+                taken.add(isr.entry)
+        return sorted(explicit, key=lambda i: i.line)
+
+    def vector_isrs(self, nvectors, stride_words=2):
+        """Interrupt handlers parsed from a hardware vector table at
+        flash word 0 (see
+        :func:`repro.analysis.static.concurrency.vector_table_isrs`)."""
+        from repro.analysis.static.concurrency import vector_table_isrs
+        return vector_table_isrs(self.read_word, nvectors,
+                                 stride_words=stride_words)
 
     # ------------------------------------------------------------------
     def jt_target(self, entry_addr):

@@ -571,6 +571,16 @@ def cmd_lint(argv=None):
                              "offsets, with --unchecked) as data words "
                              "— excluded from decode/dead-code analysis "
                              "(repeatable)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="JSON suppression file: findings matching "
+                             "a (rule, pc, fingerprint) entry are "
+                             "dropped from the report and the --fail-on "
+                             "gate, so CI fails only on new findings")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write the current findings as a baseline "
+                             "suppression file (exit 0 — the next run "
+                             "with --baseline FILE gates on new "
+                             "findings only)")
     args = parser.parse_args(argv)
     import json as json_mod
 
@@ -654,6 +664,26 @@ def cmd_lint(argv=None):
             d for d in engine.findings
             if (not selected or d.rule.code in selected)
             and d.rule.code not in ignored]
+    if args.baseline:
+        from repro.analysis.static.diagnostics import (
+            apply_baseline,
+            load_baseline,
+        )
+        try:
+            suppressions = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print("error: bad baseline {}: {}".format(args.baseline, exc),
+                  file=sys.stderr)
+            return 2
+        suppressed = apply_baseline(engine, suppressions)
+        if suppressed:
+            print("; {} finding(s) suppressed by baseline {}".format(
+                suppressed, args.baseline), file=sys.stderr)
+    if args.write_baseline:
+        from repro.analysis.static.diagnostics import write_baseline
+        write_baseline(args.write_baseline, engine)
+        print("; baseline ({} finding(s)) -> {}".format(
+            len(engine), args.write_baseline), file=sys.stderr)
     analysis = report.analysis_dict()
     if args.format == "text":
         text = engine.render_text()
@@ -673,6 +703,8 @@ def cmd_lint(argv=None):
         print(json_mod.dumps(doc, indent=1, sort_keys=True))
     if args.output:
         print("; lint report -> {}".format(args.output), file=sys.stderr)
+    if args.write_baseline:
+        return 0        # baselining acknowledges the current findings
     return 1 if _findings_at_or_above(engine, args.fail_on) else 0
 
 
@@ -697,6 +729,164 @@ def _findings_at_or_above(engine, threshold):
     rank = SEVERITIES.index(threshold)
     return sum(1 for d in engine.findings
                if SEVERITIES.index(d.severity) <= rank)
+
+
+def cmd_race(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harbor-race",
+        description="interrupt-aware static race detector and latency "
+                    "certifier: I-bit dataflow partitions the module "
+                    "into interrupt-atomic/interruptible regions, "
+                    "mainline store/load intervals are intersected "
+                    "against each ISR's access set (HL019 unprotected "
+                    "shared writes, HL020 torn multi-byte accesses, "
+                    "with two-site witnesses), and each ISR gets a "
+                    "static WCET / interrupt-latency bound (HL021)")
+    parser.add_argument("modules", nargs="+", metavar="MODULE[:ENTRIES]",
+                        help="module source (.s) or image (.hex); "
+                             "ENTRIES is a comma-separated list of "
+                             "mainline entry labels (default: every "
+                             "non-ISR label)")
+    parser.add_argument("--isr", action="append", default=[],
+                        metavar="LINE:LABEL",
+                        help="register LABEL as the vector-LINE "
+                             "interrupt handler (repeatable; "
+                             "__vector_N / isr_* / *_isr labels are "
+                             "auto-detected)")
+    parser.add_argument("--latency-budget", type=lambda v: int(v, 0),
+                        default=None, metavar="CYCLES",
+                        help="emit HL021 when the static interrupt-"
+                             "latency bound exceeds this many cycles")
+    parser.add_argument("--static-data", type=lambda v: int(v, 0),
+                        default=0, metavar="BYTES",
+                        help="per-domain static data span size, so "
+                             "modules referencing SDATA_D* symbols "
+                             "assemble (multiple of 256; default 0)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the report here (in --format)")
+    parser.add_argument("--latency-report", default=None, metavar="FILE",
+                        help="write the per-ISR WCET / latency-bound "
+                             "certificate here as JSON")
+    parser.add_argument("--fail-on", choices=("error", "warning", "note"),
+                        default="error",
+                        help="exit 1 when a finding at or above this "
+                             "severity exists (default: error)")
+    args = parser.parse_args(argv)
+    import json as json_mod
+
+    from repro.analysis.static.cfg import RegionCFG
+    from repro.analysis.static.concurrency import (
+        ConcurrencyAnalysis,
+        IsrInfo,
+        find_isr_labels,
+    )
+    from repro.analysis.static.diagnostics import (
+        DiagnosticsEngine,
+        write_report,
+    )
+    from repro.asm.assembler import default_symbols
+    from repro.sfi.layout import SfiLayout
+    from repro.sfi.system import SfiSystem
+
+    engine = DiagnosticsEngine()
+    reports = []
+    # kernel symbols so lintable modules (KERNEL_* service calls,
+    # SDATA_D* spans) assemble standalone; the analysis needs no system
+    try:
+        layout = SfiLayout(static_data_bytes=args.static_data,
+                           static_data_domains=min(
+                               len(args.modules),
+                               SfiLayout().ndomains - 1)
+                           if args.static_data else 0)
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    kernel_symbols = SfiSystem(layout=layout).kernel_symbols()
+    predefined = set(default_symbols()) | set(kernel_symbols)
+    for spec in args.modules:
+        path, _, entries_text = spec.partition(":")
+        try:
+            if path.endswith(".hex"):
+                program = _load_image(path)
+            else:
+                program = Assembler(symbols=kernel_symbols).assemble(
+                    _read_source(path), name=path)
+        except (AsmError, OSError) as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return 2
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        lo, hi = program.extent()
+        labels = {n: a for n, a in program.symbols.items()
+                  if n not in predefined and lo * 2 <= a <= hi * 2 + 1}
+        words = dict(program.words)
+
+        def read_word(word_addr, _words=words):
+            return _words.get(word_addr, 0xFFFF)
+
+        isrs = find_isr_labels(labels)
+        taken = {i.entry for i in isrs}
+        for isr_spec in args.isr:
+            line_text, _, label = isr_spec.partition(":")
+            try:
+                line = int(line_text, 0)
+                entry = labels[label]
+            except (ValueError, KeyError):
+                print("error: bad --isr {!r} (want LINE:LABEL with a "
+                      "label of the module)".format(isr_spec),
+                      file=sys.stderr)
+                return 2
+            isrs = [i for i in isrs if i.entry != entry and
+                    i.line != line]
+            isrs.append(IsrInfo(line, entry, label))
+            taken.add(entry)
+        entries = tuple(e for e in entries_text.split(",") if e)
+        try:
+            mainline = {labels[e] for e in entries} if entries \
+                else set(labels.values()) - taken
+        except KeyError as exc:
+            print("error: unknown entry label {}".format(exc),
+                  file=sys.stderr)
+            return 2
+        cfg = RegionCFG.build(read_word, lo * 2, (hi + 1) * 2, name=name,
+                              extra_leaders=sorted(labels.values()))
+        analysis = ConcurrencyAnalysis(
+            cfg, mainline_entries=mainline, isrs=sorted(
+                isrs, key=lambda i: i.line))
+        reports.append(analysis.run(engine=engine,
+                                    budget=args.latency_budget))
+
+    analysis_doc = {"concurrency": {rep.region: rep.to_dict()
+                                    for rep in reports}}
+    if args.format == "text":
+        text = engine.render_text()
+        tail = "\n".join(rep.render() for rep in reports)
+        if tail:
+            text += "\n\n" + tail
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+    else:
+        if args.output:
+            write_report(args.output, engine, fmt=args.format,
+                         analysis=analysis_doc)
+        doc = engine.to_sarif() if args.format == "sarif" \
+            else engine.to_dict(analysis=analysis_doc)
+        print(json_mod.dumps(doc, indent=1, sort_keys=True))
+    if args.output:
+        print("; race report -> {}".format(args.output), file=sys.stderr)
+    if args.latency_report:
+        with open(args.latency_report, "w") as handle:
+            json_mod.dump(
+                {"schema": 1, "regions": {
+                    rep.region: rep.latency.to_dict() if rep.latency
+                    else None for rep in reports}},
+                handle, indent=1, sort_keys=True)
+        print("; latency report -> {}".format(args.latency_report),
+              file=sys.stderr)
+    return 1 if _findings_at_or_above(engine, args.fail_on) else 0
 
 
 def cmd_opt(argv=None):
@@ -1045,11 +1235,11 @@ def main(argv=None):
              "run": cmd_run, "trace": cmd_trace, "profile": cmd_profile,
              "replay": cmd_replay, "explain-fault": cmd_explain_fault,
              "metrics": cmd_metrics, "lint": cmd_lint, "opt": cmd_opt,
-             "certify": cmd_certify, "fuzz": cmd_fuzz}
+             "certify": cmd_certify, "fuzz": cmd_fuzz, "race": cmd_race}
     if not argv or argv[0] not in tools:
         print("usage: python -m repro.cli "
               "{asm|disasm|rewrite|verify|run|trace|profile|replay|"
-              "explain-fault|metrics|lint|opt|certify|fuzz} ...",
+              "explain-fault|metrics|lint|opt|certify|fuzz|race} ...",
               file=sys.stderr)
         return 64
     return tools[argv[0]](argv[1:])

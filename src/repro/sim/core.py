@@ -294,18 +294,20 @@ class AvrCore:
         raised :class:`CycleLimitExceeded` carries how far the last
         executed step overshot the budget.
 
-        When no interrupt controller, trace sink, profiler, debugger,
-        metrics registry or device is attached, the run executes on a
-        fast loop with the per-step
-        guards hoisted out; it is cycle-for-cycle identical to the
-        instrumented path.  Attach instrumentation *before* calling
-        ``run`` (as ``Machine.attach_*`` do) — the path is selected
-        once per call.
+        When no trace sink, profiler, debugger, metrics registry or
+        device is attached, the run executes on a fast loop with the
+        per-step guards hoisted out; it is cycle-for-cycle identical to
+        the instrumented path.  An interrupt controller alone does not
+        force the instrumented path: the fast loop polls pending lines
+        at the same instruction boundaries as :meth:`step` (but the
+        ``irq_entry_latency`` metric needs a registry, which does).
+        Attach instrumentation *before* calling ``run`` (as
+        ``Machine.attach_*`` do) — the path is selected once per call.
 
         Returns cycles consumed in this call.
         """
         start = self.cycles
-        if (self.interrupts is None and self.trace is None
+        if (self.trace is None
                 and self.profiler is None and self.debug is None
                 and self.metrics is None and not self.devices):
             return self._run_fast(start, max_cycles, until_pc)
@@ -332,12 +334,20 @@ class AvrCore:
         loop's existing budget comparison: ``bound`` is the nearer of
         the budget limit and the watermark, so an armed recorder adds
         zero comparisons to the per-step path and the hook fires at the
-        exact same instruction boundaries as the instrumented loop."""
+        exact same instruction boundaries as the instrumented loop.
+
+        Interrupt polling costs one truthiness check on the pending-set
+        per iteration: the set object is stable for the controller's
+        lifetime, so the loop holds a direct reference and only calls
+        :meth:`InterruptController.poll` (which re-checks the I flag and
+        vectors) when a line is actually pending."""
         cache = self._decode_cache
         decode = self._decode_and_cache
         limit = start + max_cycles
         watermark = self.watermark
         bound = limit if watermark is None else min(limit, watermark)
+        interrupts = self.interrupts
+        pending = interrupts.pending if interrupts is not None else None
         instret = self.instret
         try:
             while not self.halted:
@@ -358,6 +368,18 @@ class AvrCore:
                     bound = limit if watermark is None \
                         else min(limit, watermark)
                     continue
+                if pending:
+                    # same boundary step() polls at: after the budget
+                    # check, before the fetch.  poll() re-checks the I
+                    # flag; a taken interrupt redirects the PC, so
+                    # re-read it before dispatch.
+                    self.cycles = cycles
+                    self.instret = instret
+                    taken = interrupts.poll()
+                    if taken:
+                        cycles += taken
+                        self.cycles = cycles
+                        pc = self.pc
                 entry = cache.get(pc)
                 if entry is None:
                     entry = decode(pc)

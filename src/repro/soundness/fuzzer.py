@@ -17,7 +17,12 @@ The generator emits adversarial modules in four families:
   in :data:`~repro.analysis.static.elision.MANIFEST_ATTACKS` and
   re-presented to the verifier and the install-time re-prover.  Every
   mutation is hostile by construction, so *any* acceptance is an
-  escape.
+  escape;
+* ``jump-table-abuse`` — computed control flow aimed squarely at the
+  cross-domain jump table: slot midpoints (the trailing word of a
+  trampoline ``jmp``), foreign-domain pages, one-past-the-end, direct
+  ``call``/``jmp`` into table words, and Z values derived
+  arithmetically at run time so no static pass can resolve the target.
 
 The campaign drives each candidate through the full admission pipeline
 (rewrite → verify → lint → elide for SFI; raw load for UMPU), executes
@@ -55,7 +60,7 @@ from repro.umpu.system import UmpuSystem
 #: generation families; manifest-forgery is meaningful only where there
 #: is a manifest (the software system)
 FAMILIES = ("store-boundary", "control-flow", "encoding",
-            "manifest-forgery")
+            "manifest-forgery", "jump-table-abuse")
 
 #: default per-call cycle budget — generated modules are tiny, so this
 #: is pure runaway containment (icall loops, erased-flash execution)
@@ -117,9 +122,9 @@ class HostileModuleGenerator:
         if kind == "sfi":
             return FAMILIES
         # hardware has no verifier and no manifests to forge; spend the
-        # slot on the family the MMC is most exposed to
+        # slot on the jump table the CFC guards
         return ("store-boundary", "control-flow", "encoding",
-                "store-boundary")
+                "jump-table-abuse")
 
     def generate(self, index, kind="sfi"):
         families = self.families_for(kind)
@@ -136,6 +141,9 @@ class HostileModuleGenerator:
             program = self._gen_encoding(rng)
             return Candidate(index, family, self.seed, name,
                              program=program)
+        if family == "jump-table-abuse":
+            source = self._gen_jump_table_abuse(rng, index)
+            return Candidate(index, family, self.seed, name, source=source)
         source = self._gen_elidable(rng)
         attack = rng.choice(_manifest_attacks())
         return Candidate(index, family, self.seed, name, source=source,
@@ -284,6 +292,63 @@ class HostileModuleGenerator:
                 lines.append("    " + rng.choice(
                     ("reti", "sleep", "wdr", "break", "cli", "sei",
                      "out 0x3f, r18")))
+        lines.append("    ret")
+        return "\n".join(lines) + "\n"
+
+    # --- jump-table-abuse ---------------------------------------------
+    def _gen_jump_table_abuse(self, rng, index):
+        """Aim computed control flow at the jump table itself.
+
+        Unlike the broad ``control-flow`` family, every transfer here
+        targets the table: slot midpoints (executing the trailing word
+        of a trampoline ``jmp`` as an instruction), pages belonging to
+        other domains, the bytes just before/past the table, direct
+        ``call``/``jmp`` into table words, and Z pointers computed from
+        a masked run-time value so the target is statically opaque.
+        Any transfer that runs table words as module code or reaches a
+        foreign domain's trampoline un-checked is an escape."""
+        lay = self.layout
+        slots = lay.ndomains * (lay.jt_page_bytes // 4)
+        lines = ["main:"]
+        for _ in range(rng.randrange(1, 4)):
+            choice = rng.choice(("midpoint", "foreign_page", "computed",
+                                 "call_table", "jmp_table", "edge"))
+            if choice == "midpoint":
+                # second word of a trampoline entry
+                target = lay.jt_base + 4 * rng.randrange(slots) + 2
+                lines += self._load_ptr(30, (target // 2) & 0xFFFF)
+                lines.append("    " + rng.choice(("icall", "ijmp")))
+            elif choice == "foreign_page":
+                page = rng.randrange(lay.ndomains)
+                target = (lay.jt_base + page * lay.jt_page_bytes
+                          + 4 * rng.randrange(lay.jt_page_bytes // 4))
+                lines += self._load_ptr(30, (target // 2) & 0xFFFF)
+                lines.append("    icall")
+            elif choice == "computed":
+                # Z = jt base + masked run-time offset: statically opaque
+                mask = rng.choice((0x03, 0x07, 0x0F, 0x3F, 0xFF))
+                lines += self._load_ptr(30, (lay.jt_base // 2) & 0xFFFF)
+                lines += ["    ldi r20, 0x{:02x}".format(rng.randrange(256)),
+                          "    andi r20, 0x{:02x}".format(mask),
+                          "    ldi r21, 0",
+                          "    add r30, r20",
+                          "    adc r31, r21",
+                          "    " + rng.choice(("icall", "ijmp"))]
+            elif choice == "call_table":
+                target = (lay.jt_base + 4 * rng.randrange(slots)
+                          + rng.choice((0, 2)))
+                lines.append("    call 0x{:04x}".format(target & 0xFFFF))
+            elif choice == "jmp_table":
+                # one-way jump into the table; nothing after it runs
+                target = (lay.jt_base + 4 * rng.randrange(slots)
+                          + rng.choice((0, 2)))
+                lines.append("    jmp 0x{:04x}".format(target & 0xFFFF))
+                break
+            else:   # edge: just before the table / at and past its end
+                target = rng.choice((lay.jt_base - 2, lay.jt_end,
+                                     lay.jt_end + 2))
+                lines += self._load_ptr(30, (target // 2) & 0xFFFF)
+                lines.append("    " + rng.choice(("icall", "ijmp")))
         lines.append("    ret")
         return "\n".join(lines) + "\n"
 

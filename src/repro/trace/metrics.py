@@ -75,7 +75,8 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram: counts per upper bound + overflow."""
 
-    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum")
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum",
+                 "max")
 
     def __init__(self, name, labels, buckets):
         bounds = tuple(buckets)
@@ -87,10 +88,16 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0
+        #: largest observed value (None until the first observe) — the
+        #: static latency certifier compares its bound against this,
+        #: which buckets alone can't recover once a value overflows
+        self.max = None
 
     def observe(self, value):
         self.count += 1
         self.sum += value
+        if self.max is None or value > self.max:
+            self.max = value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
@@ -196,7 +203,8 @@ class MetricsRegistry:
             if kind == "histogram":
                 entry.update(buckets=list(metric.buckets),
                              counts=list(metric.counts),
-                             count=metric.count, sum=metric.sum)
+                             count=metric.count, sum=metric.sum,
+                             max=metric.max)
             else:
                 entry["value"] = metric.value
             doc[kind + "s"].append(entry)

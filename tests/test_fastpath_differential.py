@@ -2,8 +2,10 @@
 cycle-for-cycle identical to the fully instrumented ``step()`` path.
 
 ``AvrCore.run`` picks ``_run_fast`` only when nothing observes the
-core (no interrupts, trace sink, profiler or devices); otherwise it
-falls back to ``step()``.  These tests execute seeded-random but valid
+core (no trace sink, profiler, debugger, metrics or devices — an
+interrupt controller alone stays on the fast loop, which polls it);
+otherwise it falls back to ``step()``.  These tests execute
+seeded-random but valid
 instruction programs on both paths and require the complete
 architectural state to match: cycle count, retired-instruction count,
 PC, SREG and every byte of the data space (registers, I/O, SP, SRAM).

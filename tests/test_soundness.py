@@ -276,7 +276,8 @@ def test_sfi_campaign_smoke_zero_escapes():
     assert stats.escapes == []
     assert stats.executed > 0
     assert set(stats.families) == {"store-boundary", "control-flow",
-                                   "encoding", "manifest-forgery"}
+                                   "encoding", "manifest-forgery",
+                                   "jump-table-abuse"}
 
 
 def test_umpu_campaign_smoke_zero_escapes():
